@@ -1,0 +1,139 @@
+// Command availcalc evaluates the analytic Markov availability models
+// for a single RAID array, printing steady-state probabilities,
+// availability (plain and in nines), downtime per year, the DU/DL
+// breakdown and MTTDL.
+//
+// Examples:
+//
+//	availcalc -disks 4 -lambda 1e-6 -hep 0.001
+//	availcalc -policy failover -disks 4 -lambda 1e-6 -hep 0.01
+//	availcalc -raid raid6 -disks 6 -lambda 1e-5 -hep 0.01
+//	availcalc -disks 4 -lambda 1e-6 -hep 0.01 -dot > fig2.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"herald/internal/model"
+	"herald/internal/report"
+	"herald/internal/stats"
+)
+
+func main() {
+	var (
+		raidKind    = flag.String("raid", "raid5", "redundancy scheme: raid1, raid5 or raid6")
+		policy      = flag.String("policy", "conventional", "replacement policy: conventional or failover")
+		disks       = flag.Int("disks", 4, "total member disks n (RAID1 uses 2)")
+		lambda      = flag.Float64("lambda", 1e-6, "per-disk failure rate (1/h)")
+		hep         = flag.Float64("hep", 0.001, "human error probability per service")
+		muDF        = flag.Float64("mu-df", 0.1, "disk replacement/rebuild rate (1/h)")
+		muDDF       = flag.Float64("mu-ddf", 0.03, "data loss recovery rate from backup (1/h)")
+		muHE        = flag.Float64("mu-he", 1, "human error undo rate (1/h)")
+		lambdaCrash = flag.Float64("lambda-crash", 0.01, "crash rate of a wrongly removed disk (1/h)")
+		muS         = flag.Float64("mu-s", 0.1, "on-line rebuild-to-spare rate (failover policy)")
+		muCH        = flag.Float64("mu-ch", 1, "spare swap service rate (failover policy)")
+		noResync    = flag.Bool("no-resync", false, "use the literal Fig. 2 DU->OP recovery (no post-undo resync)")
+		dot         = flag.Bool("dot", false, "print the model in Graphviz DOT format and exit")
+		fleet       = flag.Int("fleet", 1, "number of identical arrays composed in series")
+		mission     = flag.Float64("mission", 0, "also report finite-mission metrics for this horizon in hours (0 = skip)")
+	)
+	flag.Parse()
+
+	p := model.Params{
+		Disks:           *disks,
+		Lambda:          *lambda,
+		MuDF:            *muDF,
+		MuDDF:           *muDDF,
+		MuHE:            *muHE,
+		HEP:             *hep,
+		LambdaCrash:     *lambdaCrash,
+		ResyncAfterUndo: !*noResync,
+	}
+
+	var (
+		res  *model.Result
+		err  error
+		name string
+	)
+	switch {
+	case *policy == "failover":
+		fp := model.FailoverParams{
+			Params: p, MuS: *muS, MuCH: *muCH,
+			InstallAsSpare: true, DownAltService: true,
+		}
+		name = "automatic fail-over (Fig. 3)"
+		if *dot {
+			c, err := model.FailoverChain(fp)
+			exitOn(err)
+			fmt.Print(c.DOT("failover"))
+			return
+		}
+		res, err = model.Failover(fp)
+	case *raidKind == "raid6":
+		name = "dual parity (RAID6 extension)"
+		if *dot {
+			c, err := model.DualParityChain(p)
+			exitOn(err)
+			fmt.Print(c.DOT("dualparity"))
+			return
+		}
+		res, err = model.DualParity(p)
+	case *raidKind == "raid1" || *raidKind == "raid5":
+		if *raidKind == "raid1" {
+			p.Disks = 2
+		}
+		name = "conventional replacement (Fig. 2)"
+		if *dot {
+			c, err := model.ConventionalChain(p)
+			exitOn(err)
+			fmt.Print(c.DOT("conventional"))
+			return
+		}
+		res, err = model.Conventional(p)
+	default:
+		exitOn(fmt.Errorf("unknown -raid %q (want raid1, raid5 or raid6)", *raidKind))
+	}
+	exitOn(err)
+
+	t := report.NewTable("Model: "+name, "state", "steady-state probability")
+	names := make([]string, 0, len(res.Pi))
+	for s := range res.Pi {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		t.AddRow(s, report.E(res.Pi[s]))
+	}
+	t.AddNote("availability          = %.12f (%s nines)", res.Availability, report.F3(res.Nines()))
+	t.AddNote("unavailability        = %s (DU %s, DL %s)",
+		report.E(res.Unavailability()), report.E(res.UnavailabilityDU), report.E(res.UnavailabilityDL))
+	t.AddNote("downtime              = %.4g h/year", res.DowntimeHoursPerYear())
+	if *policy != "failover" && *raidKind != "raid6" {
+		if mttdl, err := model.MTTDL(p); err == nil {
+			t.AddNote("MTTDL                 = %.3g h (%.1f years)", mttdl, mttdl/8766)
+		}
+	}
+	if *fleet > 1 {
+		fa := model.FleetAvailability(res.Availability, *fleet)
+		t.AddNote("fleet of %d in series = %.12f (%s nines)", *fleet, fa, report.F3(stats.Nines(fa)))
+	}
+	if *mission > 0 {
+		m, err := res.Mission(*mission)
+		exitOn(err)
+		t.AddNote("mission %.3gh: interval availability %.12f (%s nines), expected downtime %.4g h",
+			m.Horizon, m.IntervalAvailability, report.F3(m.Nines()), m.ExpectedDowntimeHours)
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		exitOn(err)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "availcalc:", err)
+		os.Exit(1)
+	}
+}

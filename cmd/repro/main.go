@@ -1,0 +1,61 @@
+// Command repro regenerates the paper's evaluation figures as tables.
+//
+// Examples:
+//
+//	repro                      # every figure, laptop scale
+//	repro -fig 6               # only Fig. 6 (RAID ranking)
+//	repro -fig 4 -iters 100000 # Fig. 4 at near-paper Monte-Carlo scale
+//	repro -fig 5 -csv          # Fig. 5 as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"herald/internal/repro"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "experiment id: "+strings.Join(repro.All(), ", ")+" or all")
+		iters   = flag.Int("iters", 0, "Monte-Carlo iterations per point (0 = default 4000; paper used 1e6)")
+		mission = flag.Float64("mission", 0, "mission time per iteration in hours (0 = default 1e6)")
+		seed    = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	o := repro.Options{
+		MCIterations: *iters,
+		MissionTime:  *mission,
+		Seed:         *seed,
+		Workers:      *workers,
+	}
+
+	ids := repro.All()
+	if *fig != "all" {
+		ids = []string{*fig}
+	}
+	for _, id := range ids {
+		tables, err := repro.Run(id, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				if err := t.CSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "repro:", err)
+					os.Exit(1)
+				}
+			} else if _, err := t.WriteTo(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "repro:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}

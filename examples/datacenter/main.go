@@ -1,0 +1,91 @@
+// Datacenter: the paper's motivating arithmetic (§I) at fleet scale.
+//
+// An exa-byte data center runs more than a million disk drives, so it
+// sees roughly one disk failure per hour; with a human error
+// probability of 0.001..0.1 per service, that is multiple wrong
+// replacements every day. This example quantifies that motivation and
+// then uses the discrete-event kernel to print one simulated day of
+// fleet-level failure and service events.
+//
+// Run with: go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"herald"
+	"herald/internal/des"
+	"herald/internal/dist"
+	"herald/internal/human"
+	"herald/internal/xrand"
+)
+
+const (
+	fleetDisks = 1_250_000 // an EB at 800GB usable per effective disk
+	lambda     = 8e-7      // per-disk failure rate, ~143 years MTTF
+)
+
+func main() {
+	// 1. Fleet-level incident arithmetic.
+	failuresPerHour := fleetDisks * lambda
+	fmt.Printf("fleet: %d disks at lambda = %g/h => %.2f disk failures per hour\n",
+		fleetDisks, lambda, failuresPerHour)
+	for _, hep := range []human.ErrorProbability{human.HEPEnterpriseLow, human.HEPEnterpriseHigh, human.HEPGeneralHigh} {
+		perDay := human.ExpectedErrorsPerDay(fleetDisks, lambda, hep)
+		fmt.Printf("  hep = %-6g => %6.2f wrong replacements per day\n", float64(hep), perDay)
+	}
+
+	// 2. What that does to user-visible availability: the fleet as
+	// RAID5(7+1) arrays, usable capacity fixed.
+	fleet, err := herald.PlanFleet(herald.RAID5Wide, fleetDisks*7/8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRAID5(7+1) fleet: %d arrays, %d physical disks\n", fleet.Count, fleet.TotalDisks())
+	for _, hep := range []float64{0, 0.001, 0.01} {
+		res, err := herald.SolveConventional(herald.PaperParams(8, lambda, hep))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fa := herald.FleetAvailability(res.Availability, fleet.Count)
+		fmt.Printf("  hep = %-6g => fleet availability %.6f (%.2f nines)\n",
+			hep, fa, herald.Nines(fa))
+	}
+
+	// 3. One simulated day of fleet incidents via the DES kernel.
+	fmt.Println("\nOne simulated day of fleet service events:")
+	simulateDay()
+}
+
+// simulateDay drives a compound Poisson process of disk failures over
+// 24 hours; each failure schedules a replacement service that may
+// suffer a human error.
+func simulateDay() {
+	r := xrand.New(2017)
+	s := des.New()
+	interarrival := dist.NewExponential(fleetDisks * lambda) // fleet failure stream
+	service := dist.NewExponential(0.1)                      // 10h mean replacement
+	tech := human.MustNewModel(human.HEPEnterpriseHigh)
+
+	var failures, errors int
+	var scheduleNext func(sim *des.Simulator)
+	scheduleNext = func(sim *des.Simulator) {
+		sim.Schedule(interarrival.Sample(r), func(sim *des.Simulator) {
+			failures++
+			at := sim.Now()
+			fmt.Printf("  %6.2fh  disk failure #%d", at, failures)
+			wrong := tech.Occurs(human.ReplaceFailedDisk, r)
+			dur := service.Sample(r)
+			if wrong {
+				errors++
+				fmt.Printf("  -> WRONG DISK PULLED during service (+%.1fh outage)", dur)
+			}
+			fmt.Println()
+			scheduleNext(sim)
+		})
+	}
+	scheduleNext(s)
+	s.RunUntil(24)
+	fmt.Printf("  total: %d failures, %d human errors in 24h\n", failures, errors)
+}

@@ -1,0 +1,130 @@
+package herald
+
+import (
+	"herald/internal/human"
+	"herald/internal/markov"
+	"herald/internal/model"
+	"herald/internal/sim"
+	"herald/internal/trace"
+	"herald/internal/xrand"
+)
+
+// This file extends the facade with the analysis features beyond the
+// paper's core: finite-mission metrics, the literal discrete-time
+// chains, failure-log fitting, fleet simulation and THERP-style
+// procedure modelling.
+
+// ---------------------------------------------------------------------
+// Mission (finite-horizon) analysis
+// ---------------------------------------------------------------------
+
+// MissionResult carries finite-horizon availability metrics; obtain it
+// from ModelResult.Mission(horizon).
+type MissionResult = model.MissionResult
+
+// ---------------------------------------------------------------------
+// Discrete-time chains (the paper's literal figure form)
+// ---------------------------------------------------------------------
+
+// DTMC is a discrete-time Markov chain; the paper's figures are drawn
+// in this form with hourly steps and explicit self-loops.
+type DTMC = markov.DTMC
+
+// ConventionalHourlyDTMC returns the paper's Fig. 2 as the hourly
+// discrete chain it is drawn as. Its stationary availability matches
+// the CTMC's.
+func ConventionalHourlyDTMC(p ConventionalParams) (*DTMC, error) {
+	return model.ConventionalHourlyDTMC(p)
+}
+
+// FailoverDTMC returns the Fig. 3 chain discretized with an explicit
+// step (0.25 h keeps all rows stochastic at the paper defaults).
+func FailoverDTMC(p FailoverParams, dt float64) (*DTMC, error) {
+	return model.FailoverDTMC(p, dt)
+}
+
+// FailoverMTTDL returns the mean time to data loss (hours) under the
+// automatic fail-over policy (DL and DLns absorbing).
+func FailoverMTTDL(p FailoverParams) (float64, error) {
+	return model.FailoverMTTDL(p)
+}
+
+// ---------------------------------------------------------------------
+// Failure-log fitting (field-study pipeline)
+// ---------------------------------------------------------------------
+
+// FailureObservation is one disk lifetime record (possibly censored).
+type FailureObservation = trace.Observation
+
+// FailureLog is a set of lifetime observations.
+type FailureLog = trace.Log
+
+// LifetimeModelChoice is the AIC comparison of exponential vs Weibull
+// fits of a failure log.
+type LifetimeModelChoice = trace.ModelChoice
+
+// GenerateFailureLog simulates a fleet failure log (with renewal and
+// right-censoring) from any lifetime distribution — the synthetic
+// stand-in for proprietary field data.
+func GenerateFailureLog(lifetime Distribution, slots int, window float64, seed uint64) FailureLog {
+	return trace.Generate(lifetime, slots, window, xrand.New(seed))
+}
+
+// FitExponentialLog returns the censored maximum-likelihood failure
+// rate of a log.
+func FitExponentialLog(l FailureLog) (rate float64, err error) {
+	return trace.FitExponential(l)
+}
+
+// FitWeibullLog returns the censored maximum-likelihood Weibull shape
+// and scale of a log.
+func FitWeibullLog(l FailureLog) (shape, scale float64, err error) {
+	return trace.FitWeibull(l)
+}
+
+// ChooseLifetimeModel fits both lifetime models and picks one by AIC.
+func ChooseLifetimeModel(l FailureLog) (LifetimeModelChoice, error) {
+	return trace.Choose(l)
+}
+
+// ---------------------------------------------------------------------
+// Fleet simulation
+// ---------------------------------------------------------------------
+
+// FleetSimSummary is the Monte-Carlo estimate for a series fleet of
+// identical arrays.
+type FleetSimSummary = sim.FleetSummary
+
+// SimulateFleet estimates the availability of count identical arrays
+// in series, with delta-method CI propagation.
+func SimulateFleet(p SimParams, count int, o SimOptions) (FleetSimSummary, error) {
+	return sim.RunFleet(p, count, o)
+}
+
+// ---------------------------------------------------------------------
+// Human reliability (THERP-style)
+// ---------------------------------------------------------------------
+
+// ServiceStep is one action in a service procedure, with a base error
+// probability and an optional recovery factor.
+type ServiceStep = human.Step
+
+// ServiceProcedure is an ordered sequence of service steps; its
+// end-to-end error probability is the hep to feed the models.
+type ServiceProcedure = human.Procedure
+
+// HumanErrorProbability is a per-opportunity error probability.
+type HumanErrorProbability = human.ErrorProbability
+
+// Published HEP bands from the HRA literature the paper surveys.
+const (
+	HEPEnterpriseLow  = human.HEPEnterpriseLow
+	HEPEnterpriseHigh = human.HEPEnterpriseHigh
+	HEPGeneralHigh    = human.HEPGeneralHigh
+)
+
+// DiskReplacementProcedure returns a representative conventional
+// replacement procedure parameterized by a base step HEP.
+func DiskReplacementProcedure(base HumanErrorProbability) ServiceProcedure {
+	return human.DiskReplacementProcedure(base)
+}

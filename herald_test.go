@@ -1,0 +1,168 @@
+package herald
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	res, err := SolveConventional(PaperParams(4, 1e-6, 0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nines() < 6 || res.Nines() > 8 {
+		t.Fatalf("RAID5(3+1) at lambda=1e-6 hep=0.001: %v nines", res.Nines())
+	}
+}
+
+func TestFacadeModelConsistency(t *testing.T) {
+	conv, err := SolveConventional(PaperParams(4, 1e-6, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := SolveFailover(PaperFailoverParams(4, 1e-6, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo.Availability <= conv.Availability {
+		t.Fatal("fail-over should beat conventional under human error")
+	}
+	dp, err := SolveDualParity(PaperParams(6, 1e-5, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SolveConventional(PaperParams(6, 1e-5, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Availability <= sp.Availability {
+		t.Fatal("dual parity should beat single parity")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	s, err := Simulate(PaperSimParams(4, 1e-4, 0.01), SimOptions{
+		Iterations: 300, MissionTime: 1e5, Seed: 5, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Availability <= 0 || s.Availability >= 1 {
+		t.Fatalf("availability = %v", s.Availability)
+	}
+}
+
+func TestFacadeSimulationPolicies(t *testing.T) {
+	p := PaperSimParams(4, 1e-4, 0.02)
+	p.Policy = PolicyAutoFailover
+	s, err := Simulate(p, SimOptions{Iterations: 300, MissionTime: 1e5, Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Availability <= 0 {
+		t.Fatalf("availability = %v", s.Availability)
+	}
+	dp := PaperSimParams(6, 1e-4, 0.02)
+	dp.Policy = PolicyDualParity
+	s2, err := Simulate(dp, SimOptions{Iterations: 300, MissionTime: 1e5, Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Availability <= s.Availability-1 { // sanity only
+		t.Fatalf("dual parity availability = %v", s2.Availability)
+	}
+}
+
+func TestFacadeDistributions(t *testing.T) {
+	if Exponential(0.1).Mean() != 10 {
+		t.Error("exponential mean wrong")
+	}
+	w := WeibullFromMeanRate(1e-6, 1.48)
+	if math.Abs(w.Mean()-1e6)/1e6 > 1e-12 {
+		t.Errorf("weibull mean = %v", w.Mean())
+	}
+	if Weibull(2, 100).Mean() <= 0 {
+		t.Error("weibull constructor broken")
+	}
+}
+
+func TestFacadeRAIDPlanning(t *testing.T) {
+	capacity, err := EquivalentCapacity(RAID1Mirror, RAID5Small, RAID5Wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capacity != 21 {
+		t.Fatalf("capacity = %d", capacity)
+	}
+	fleet, err := PlanFleet(RAID5Small, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Count != 7 {
+		t.Fatalf("fleet count = %d", fleet.Count)
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	if math.Abs(Nines(0.999)-3) > 1e-9 {
+		t.Error("nines wrong")
+	}
+	if d := DowntimeHoursPerYear(0.99); d < 80 || d > 95 {
+		t.Errorf("two-nines downtime = %v h/yr", d)
+	}
+	if FleetAvailability(0.9, 2) != 0.81 {
+		t.Error("fleet availability wrong")
+	}
+}
+
+func TestFacadeHeadline(t *testing.T) {
+	ratio, err := UnderestimationRatio(PaperParams(4, 1.31e-6, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 263x headline point.
+	if ratio < 200 || ratio > 350 {
+		t.Fatalf("underestimation ratio = %v, want ~263", ratio)
+	}
+	mttdl, err := MTTDL(PaperParams(4, 1e-6, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mttdl <= 0 {
+		t.Fatalf("MTTDL = %v", mttdl)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) < 5 {
+		t.Fatal("experiment list too short")
+	}
+	tables, err := RunExperiment("7", ExperimentOptions{MCIterations: 50, MissionTime: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || !strings.Contains(tables[0].String(), "Fig. 7") {
+		t.Fatal("Fig. 7 experiment malformed")
+	}
+}
+
+func TestRunAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	var sb strings.Builder
+	err := RunAllExperiments(&sb, ExperimentOptions{MCIterations: 100, MissionTime: 1e5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig. 6c") {
+		t.Fatal("missing panel in full run")
+	}
+}
+
+func TestVersion(t *testing.T) {
+	if Version == "" {
+		t.Fatal("empty version")
+	}
+}

@@ -1,0 +1,170 @@
+// Package des is a small discrete-event simulation kernel: a
+// simulation clock plus a cancellable event calendar ordered by
+// (time, insertion sequence). The Monte-Carlo availability model uses
+// specialized race loops for speed, but fleet-level scenario studies
+// (see examples/datacenter) and extensions build on this kernel.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is the callback invoked when an event fires.
+type Handler func(sim *Simulator)
+
+// Event is a scheduled occurrence. Cancel it via Cancel; a cancelled
+// event is skipped when it reaches the head of the calendar.
+type Event struct {
+	time      float64
+	seq       uint64
+	fn        Handler
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time returns the scheduled firing time.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel marks the event so it will not fire. Cancelling an already
+// fired or cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the clock and the event calendar. The zero value is
+// not usable; construct with New.
+type Simulator struct {
+	now    float64
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns how many events have been executed.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Halt stops Run/RunUntil after the current event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Schedule registers fn to fire after delay. It panics on negative or
+// NaN delays.
+func (s *Simulator) Schedule(delay float64, fn Handler) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: invalid delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt registers fn to fire at absolute time t >= Now.
+func (s *Simulator) ScheduleAt(t float64, fn Handler) *Event {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("des: cannot schedule at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Step fires the next non-cancelled event and returns true, or returns
+// false when the calendar is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.time
+		s.fired++
+		e.fn(s)
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events with time <= horizon, advances the clock
+// to exactly horizon, and returns the number of events fired. Events
+// scheduled beyond the horizon stay queued.
+func (s *Simulator) RunUntil(horizon float64) uint64 {
+	if horizon < s.now {
+		panic(fmt.Sprintf("des: horizon %v before now %v", horizon, s.now))
+	}
+	s.halted = false
+	start := s.fired
+	for len(s.queue) > 0 && !s.halted {
+		// Peek; fire only if within horizon.
+		e := s.queue[0]
+		if e.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.time > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = e.time
+		s.fired++
+		e.fn(s)
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return s.fired - start
+}
+
+// Run drains the calendar completely (or until Halt) and returns the
+// number of events fired.
+func (s *Simulator) Run() uint64 {
+	s.halted = false
+	start := s.fired
+	for !s.halted && s.Step() {
+	}
+	return s.fired - start
+}

@@ -1,0 +1,195 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+
+	"herald/internal/xrand"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func(*Simulator) { order = append(order, 3) })
+	s.Schedule(1, func(*Simulator) { order = append(order, 1) })
+	s.Schedule(2, func(*Simulator) { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New()
+	var order []string
+	s.Schedule(5, func(*Simulator) { order = append(order, "first") })
+	s.Schedule(5, func(*Simulator) { order = append(order, "second") })
+	s.Run()
+	if order[0] != "first" || order[1] != "second" {
+		t.Fatalf("tie-break order = %v", order)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(1, func(*Simulator) { fired = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	s := New()
+	count := 0
+	var recur Handler
+	recur = func(sim *Simulator) {
+		count++
+		if count < 5 {
+			sim.Schedule(1, recur)
+		}
+	}
+	s.Schedule(1, recur)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		tm := tm
+		s.ScheduleAt(tm, func(*Simulator) { fired = append(fired, tm) })
+	}
+	n := s.RunUntil(3)
+	if n != 3 {
+		t.Fatalf("fired %d events, want 3", n)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v, want exactly the horizon", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// Continue to the end.
+	s.RunUntil(10)
+	if len(fired) != 5 || s.Now() != 10 {
+		t.Fatalf("fired = %v, now = %v", fired, s.Now())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New()
+	count := 0
+	s.Schedule(1, func(sim *Simulator) { count++; sim.Halt() })
+	s.Schedule(2, func(*Simulator) { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("count = %d after halt", count)
+	}
+	// Run again resumes.
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count = %d after resume", count)
+	}
+}
+
+func TestSchedulePanics(t *testing.T) {
+	s := New()
+	cases := []func(){
+		func() { s.Schedule(-1, func(*Simulator) {}) },
+		func() { s.ScheduleAt(-0.5, func(*Simulator) {}) },
+		func() { s.Schedule(1, nil) },
+		func() { s.RunUntil(-1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Schedule(float64(i), func(*Simulator) {})
+	}
+	s.Run()
+	if s.Fired() != 10 {
+		t.Fatalf("fired = %d", s.Fired())
+	}
+}
+
+func TestQuickOrderInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := New()
+		last := -1.0
+		ok := true
+		n := 5 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			s.Schedule(r.Float64()*100, func(sim *Simulator) {
+				if sim.Now() < last {
+					ok = false
+				}
+				last = sim.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCancelledNeverFire(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := New()
+		firedCancelled := false
+		n := 5 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			cancelled := r.Bernoulli(0.5)
+			e := s.Schedule(r.Float64()*10, func(*Simulator) {
+				if cancelled {
+					firedCancelled = true
+				}
+			})
+			if cancelled {
+				e.Cancel()
+			}
+		}
+		s.Run()
+		return !firedCancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

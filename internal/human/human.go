@@ -1,0 +1,150 @@
+// Package human models the human-error side of the study: Human Error
+// Probabilities (hep) drawn from the Human Reliability Assessment
+// literature the paper surveys (§II-A), and the taxonomy of operator
+// actions during disk replacement service.
+//
+// The paper's working range — hep between 0.001 and 0.1 overall, and
+// 0.001..0.01 for enterprise/safety-critical settings — comes from
+// NASA HRA reports, EUROCONTROL feasibility studies, NUREG/WASH-1400
+// and the Swain & Guttmann handbook. The constants here encode those
+// published bands so experiments can reference them by name.
+package human
+
+import (
+	"fmt"
+
+	"herald/internal/xrand"
+)
+
+// ErrorProbability is a dimensionless per-opportunity human error
+// probability (fraction of error cases over opportunities for error).
+type ErrorProbability float64
+
+// Validate checks the probability is inside [0, 1].
+func (p ErrorProbability) Validate() error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("human: error probability %v outside [0,1]", float64(p))
+	}
+	return nil
+}
+
+// Published HEP reference points (see paper §II-A and refs [5]-[8]).
+const (
+	// HEPNone disables human error (the traditional availability
+	// model's implicit assumption).
+	HEPNone ErrorProbability = 0
+	// HEPEnterpriseLow is the optimistic bound for highly trained
+	// staff following checklists in enterprise settings.
+	HEPEnterpriseLow ErrorProbability = 0.001
+	// HEPEnterpriseHigh is the pessimistic bound for enterprise and
+	// safety-critical applications.
+	HEPEnterpriseHigh ErrorProbability = 0.01
+	// HEPGeneralHigh is the upper end observed across all surveyed
+	// applications and situations.
+	HEPGeneralHigh ErrorProbability = 0.1
+)
+
+// PaperSweep returns the hep values the paper's figures sweep:
+// 0 (traditional model), 0.001 and 0.01.
+func PaperSweep() []ErrorProbability {
+	return []ErrorProbability{HEPNone, HEPEnterpriseLow, HEPEnterpriseHigh}
+}
+
+// Action identifies an operator action that carries an error
+// opportunity during storage service.
+type Action int
+
+const (
+	// ReplaceFailedDisk is the physical swap of a failed disk for a
+	// fresh one; the paper's focus ("wrong disk replacement" pulls a
+	// healthy drive instead).
+	ReplaceFailedDisk Action = iota
+	// RunRecoveryScript starts the rebuild procedure; running the
+	// wrong script can destroy the recovery.
+	RunRecoveryScript
+	// UndoWrongReplacement is the corrective action after a wrong
+	// replacement: re-seat the pulled healthy disk, remove the failed
+	// one. It is itself error-prone (the model's DU self-transition).
+	UndoWrongReplacement
+	// SwapSpareDisk replenishes the hot-spare slot after an automatic
+	// fail-over (the delayed-replacement policy's only manual step).
+	SwapSpareDisk
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ReplaceFailedDisk:
+		return "replace-failed-disk"
+	case RunRecoveryScript:
+		return "run-recovery-script"
+	case UndoWrongReplacement:
+		return "undo-wrong-replacement"
+	case SwapSpareDisk:
+		return "swap-spare-disk"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Model carries per-action error probabilities. The zero value is the
+// error-free technician.
+type Model struct {
+	perAction map[Action]ErrorProbability
+	base      ErrorProbability
+}
+
+// NewModel returns a model that applies the same hep to every action.
+func NewModel(hep ErrorProbability) (*Model, error) {
+	if err := hep.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{base: hep}, nil
+}
+
+// MustNewModel is NewModel panicking on invalid input.
+func MustNewModel(hep ErrorProbability) *Model {
+	m, err := NewModel(hep)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SetAction overrides the probability of one action.
+func (m *Model) SetAction(a Action, hep ErrorProbability) error {
+	if err := hep.Validate(); err != nil {
+		return err
+	}
+	if m.perAction == nil {
+		m.perAction = make(map[Action]ErrorProbability)
+	}
+	m.perAction[a] = hep
+	return nil
+}
+
+// HEP returns the error probability for an action.
+func (m *Model) HEP(a Action) ErrorProbability {
+	if m == nil {
+		return 0
+	}
+	if p, ok := m.perAction[a]; ok {
+		return p
+	}
+	return m.base
+}
+
+// Occurs samples whether a human error strikes the given action.
+func (m *Model) Occurs(a Action, r *xrand.Source) bool {
+	return r.Bernoulli(float64(m.HEP(a)))
+}
+
+// ExpectedErrorsPerDay estimates how many human errors a data-center
+// experiences daily given a disk population, per-disk failure rate
+// (1/h) and a per-service hep — the paper's motivating arithmetic: an
+// exascale center with >1e6 drives sees a failure per hour, hence
+// multiple human errors a day even at hep of a few permille.
+func ExpectedErrorsPerDay(disks int, diskFailureRate float64, hep ErrorProbability) float64 {
+	servicesPerDay := float64(disks) * diskFailureRate * 24
+	return servicesPerDay * float64(hep)
+}

@@ -1,0 +1,155 @@
+package human
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"herald/internal/xrand"
+)
+
+func TestErrorProbabilityValidate(t *testing.T) {
+	for _, p := range []ErrorProbability{0, 0.001, 0.01, 0.1, 1} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", p, err)
+		}
+	}
+	for _, p := range []ErrorProbability{-0.1, 1.1} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%v accepted", p)
+		}
+	}
+}
+
+func TestPaperSweep(t *testing.T) {
+	sweep := PaperSweep()
+	want := []ErrorProbability{0, 0.001, 0.01}
+	if len(sweep) != len(want) {
+		t.Fatalf("sweep = %v", sweep)
+	}
+	for i := range want {
+		if sweep[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", sweep, want)
+		}
+	}
+}
+
+func TestPublishedBands(t *testing.T) {
+	// The paper: hep in [0.001, 0.1] overall; [0.001, 0.01] enterprise.
+	if HEPEnterpriseLow != 0.001 || HEPEnterpriseHigh != 0.01 || HEPGeneralHigh != 0.1 {
+		t.Fatal("published bands drifted from the paper's values")
+	}
+	if !(HEPNone < HEPEnterpriseLow && HEPEnterpriseLow < HEPEnterpriseHigh && HEPEnterpriseHigh < HEPGeneralHigh) {
+		t.Fatal("bands are not ordered")
+	}
+}
+
+func TestModelBaseHEP(t *testing.T) {
+	m := MustNewModel(0.01)
+	for _, a := range []Action{ReplaceFailedDisk, RunRecoveryScript, UndoWrongReplacement, SwapSpareDisk} {
+		if m.HEP(a) != 0.01 {
+			t.Errorf("HEP(%v) = %v", a, m.HEP(a))
+		}
+	}
+}
+
+func TestModelPerActionOverride(t *testing.T) {
+	m := MustNewModel(0.01)
+	if err := m.SetAction(RunRecoveryScript, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if m.HEP(RunRecoveryScript) != 0.05 {
+		t.Error("override not applied")
+	}
+	if m.HEP(ReplaceFailedDisk) != 0.01 {
+		t.Error("override leaked to other actions")
+	}
+	if err := m.SetAction(ReplaceFailedDisk, 1.5); err == nil {
+		t.Error("invalid override accepted")
+	}
+}
+
+func TestNewModelRejectsInvalid(t *testing.T) {
+	if _, err := NewModel(-0.2); err == nil {
+		t.Error("negative hep accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewModel did not panic")
+		}
+	}()
+	MustNewModel(2)
+}
+
+func TestNilModelIsErrorFree(t *testing.T) {
+	var m *Model
+	if m.HEP(ReplaceFailedDisk) != 0 {
+		t.Error("nil model should have hep 0")
+	}
+	if m.Occurs(ReplaceFailedDisk, xrand.New(1)) {
+		t.Error("nil model produced an error")
+	}
+}
+
+func TestOccursFrequency(t *testing.T) {
+	m := MustNewModel(0.01)
+	r := xrand.New(42)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if m.Occurs(ReplaceFailedDisk, r) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.01) > 0.002 {
+		t.Errorf("error frequency = %v, want ~0.01", got)
+	}
+}
+
+func TestExpectedErrorsPerDayExascale(t *testing.T) {
+	// The paper's motivation: >1e6 drives at enterprise failure rates
+	// means ~a failure per hour; at hep ~ 0.01..0.1 that is multiple
+	// human errors per day.
+	const disks = 1_500_000
+	const rate = 7e-7 // about one failure per hour across the fleet
+	perDay := ExpectedErrorsPerDay(disks, rate, HEPGeneralHigh)
+	if perDay < 1 {
+		t.Errorf("exascale error rate = %v/day, expected multiple", perDay)
+	}
+	if z := ExpectedErrorsPerDay(disks, rate, HEPNone); z != 0 {
+		t.Errorf("hep=0 should give zero errors, got %v", z)
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for _, a := range []Action{ReplaceFailedDisk, RunRecoveryScript, UndoWrongReplacement, SwapSpareDisk, Action(77)} {
+		if a.String() == "" {
+			t.Errorf("Action %d renders empty", int(a))
+		}
+	}
+}
+
+func TestQuickOccursNeverForZeroAlwaysForOne(t *testing.T) {
+	zero := MustNewModel(0)
+	one := MustNewModel(1)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		return !zero.Occurs(ReplaceFailedDisk, r) && one.Occurs(ReplaceFailedDisk, r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExpectedErrorsScalesLinearly(t *testing.T) {
+	f := func(disksRaw uint16) bool {
+		disks := 1 + int(disksRaw)
+		base := ExpectedErrorsPerDay(disks, 1e-6, 0.01)
+		double := ExpectedErrorsPerDay(2*disks, 1e-6, 0.01)
+		return math.Abs(double-2*base) < 1e-12*(1+double)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

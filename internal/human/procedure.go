@@ -1,0 +1,107 @@
+package human
+
+import (
+	"errors"
+	"fmt"
+
+	"herald/internal/xrand"
+)
+
+// Step is one action inside a service procedure, in THERP style
+// (Swain & Guttmann's Technique for Human Error Rate Prediction, the
+// paper's reference [8]): a base error probability, optionally
+// mitigated by a recovery factor (a checklist tick, a second pair of
+// eyes, an interlock) that catches a committed error with some
+// probability.
+type Step struct {
+	// Name labels the step in reports.
+	Name string
+	// HEP is the base per-attempt error probability.
+	HEP ErrorProbability
+	// RecoveryFactor is the probability that a committed error is
+	// caught and corrected before it takes effect (0 = no recovery).
+	RecoveryFactor float64
+}
+
+// EffectiveHEP returns the step's error probability after recovery:
+// hep * (1 - recovery).
+func (s Step) EffectiveHEP() (ErrorProbability, error) {
+	if err := s.HEP.Validate(); err != nil {
+		return 0, fmt.Errorf("human: step %q: %w", s.Name, err)
+	}
+	if s.RecoveryFactor < 0 || s.RecoveryFactor > 1 {
+		return 0, fmt.Errorf("human: step %q: recovery factor %v outside [0,1]", s.Name, s.RecoveryFactor)
+	}
+	return ErrorProbability(float64(s.HEP) * (1 - s.RecoveryFactor)), nil
+}
+
+// Procedure is an ordered sequence of steps performed during one
+// service visit; the paper's "wrong disk replacement" is the failure
+// of such a procedure's identify-and-pull step.
+type Procedure struct {
+	Name  string
+	Steps []Step
+}
+
+// DiskReplacementProcedure returns a representative conventional
+// replacement procedure whose end-to-end error probability lands in
+// the paper's enterprise band when base is in [0.001, 0.01]: locate
+// the failed drive, pull it, insert the new drive, start the rebuild
+// script.
+func DiskReplacementProcedure(base ErrorProbability) Procedure {
+	return Procedure{
+		Name: "conventional disk replacement",
+		Steps: []Step{
+			{Name: "identify failed drive bay", HEP: base, RecoveryFactor: 0.5},
+			{Name: "pull drive", HEP: base, RecoveryFactor: 0},
+			{Name: "insert replacement", HEP: base / 10, RecoveryFactor: 0.5},
+			{Name: "start rebuild script", HEP: base, RecoveryFactor: 0.9},
+		},
+	}
+}
+
+// SuccessProbability returns the probability that every step completes
+// without an effective error, assuming step independence (the THERP
+// first-order model).
+func (p Procedure) SuccessProbability() (float64, error) {
+	if len(p.Steps) == 0 {
+		return 0, errors.New("human: procedure has no steps")
+	}
+	s := 1.0
+	for _, st := range p.Steps {
+		eff, err := st.EffectiveHEP()
+		if err != nil {
+			return 0, err
+		}
+		s *= 1 - float64(eff)
+	}
+	return s, nil
+}
+
+// ErrorProbabilityTotal returns 1 - SuccessProbability: the value to
+// plug into the availability models as hep.
+func (p Procedure) ErrorProbabilityTotal() (ErrorProbability, error) {
+	s, err := p.SuccessProbability()
+	if err != nil {
+		return 0, err
+	}
+	return ErrorProbability(1 - s), nil
+}
+
+// Sample walks the procedure once and returns the index of the first
+// step whose error takes effect, or -1 on success.
+func (p Procedure) Sample(r *xrand.Source) (int, error) {
+	if len(p.Steps) == 0 {
+		return 0, errors.New("human: procedure has no steps")
+	}
+	for i, st := range p.Steps {
+		eff, err := st.EffectiveHEP()
+		if err != nil {
+			return 0, err
+		}
+		if r.Bernoulli(float64(eff)) {
+			return i, nil
+		}
+	}
+	return -1, nil
+}

@@ -1,0 +1,151 @@
+package human
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"herald/internal/xrand"
+)
+
+func TestStepEffectiveHEP(t *testing.T) {
+	s := Step{Name: "pull", HEP: 0.01, RecoveryFactor: 0.5}
+	eff, err := s.EffectiveHEP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(eff)-0.005) > 1e-15 {
+		t.Fatalf("effective = %v", eff)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	if _, err := (Step{HEP: 1.5}).EffectiveHEP(); err == nil {
+		t.Fatal("bad hep accepted")
+	}
+	if _, err := (Step{HEP: 0.1, RecoveryFactor: -1}).EffectiveHEP(); err == nil {
+		t.Fatal("bad recovery accepted")
+	}
+	if _, err := (Step{HEP: 0.1, RecoveryFactor: 2}).EffectiveHEP(); err == nil {
+		t.Fatal("recovery > 1 accepted")
+	}
+}
+
+func TestProcedureSuccessProbability(t *testing.T) {
+	p := Procedure{
+		Name: "test",
+		Steps: []Step{
+			{HEP: 0.1, RecoveryFactor: 0},
+			{HEP: 0.2, RecoveryFactor: 0.5},
+		},
+	}
+	got, err := p.SuccessProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9 * 0.9
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("success = %v, want %v", got, want)
+	}
+	hep, err := p.ErrorProbabilityTotal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(hep)-(1-want)) > 1e-15 {
+		t.Fatalf("total hep = %v", hep)
+	}
+}
+
+func TestEmptyProcedureErrors(t *testing.T) {
+	var p Procedure
+	if _, err := p.SuccessProbability(); err == nil {
+		t.Fatal("empty procedure accepted")
+	}
+	if _, err := p.Sample(xrand.New(1)); err == nil {
+		t.Fatal("empty procedure sampled")
+	}
+}
+
+func TestDiskReplacementProcedureInPaperBand(t *testing.T) {
+	// At base hep values in the enterprise band the end-to-end error
+	// probability should stay within the paper's [0.001, 0.1] range.
+	for _, base := range []ErrorProbability{HEPEnterpriseLow, HEPEnterpriseHigh} {
+		p := DiskReplacementProcedure(base)
+		hep, err := p.ErrorProbabilityTotal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hep < base/2 || hep > 4*base {
+			t.Fatalf("base %v: total %v outside expected band", base, hep)
+		}
+	}
+}
+
+func TestProcedureSampleFrequency(t *testing.T) {
+	p := Procedure{Steps: []Step{{Name: "only", HEP: 0.2}}}
+	r := xrand.New(5)
+	errors := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		idx, err := p.Sample(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 0 {
+			errors++
+		} else if idx != -1 {
+			t.Fatalf("unexpected step index %d", idx)
+		}
+	}
+	if freq := float64(errors) / n; math.Abs(freq-0.2) > 0.01 {
+		t.Fatalf("error frequency = %v", freq)
+	}
+}
+
+func TestProcedureSamplePropagatesValidation(t *testing.T) {
+	p := Procedure{Steps: []Step{{HEP: 2}}}
+	if _, err := p.Sample(xrand.New(1)); err == nil {
+		t.Fatal("invalid step sampled")
+	}
+}
+
+func TestQuickSuccessMatchesSampling(t *testing.T) {
+	f := func(seed uint64, aRaw, bRaw uint8) bool {
+		a := float64(aRaw) / 255 * 0.3
+		b := float64(bRaw) / 255 * 0.3
+		p := Procedure{Steps: []Step{{HEP: ErrorProbability(a)}, {HEP: ErrorProbability(b)}}}
+		want, err := p.SuccessProbability()
+		if err != nil {
+			return false
+		}
+		r := xrand.New(seed)
+		ok := 0
+		const n = 4000
+		for i := 0; i < n; i++ {
+			idx, err := p.Sample(r)
+			if err != nil {
+				return false
+			}
+			if idx == -1 {
+				ok++
+			}
+		}
+		return math.Abs(float64(ok)/n-want) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRecoveryNeverIncreasesHEP(t *testing.T) {
+	f := func(hRaw, rRaw uint8) bool {
+		h := ErrorProbability(float64(hRaw) / 255)
+		rec := float64(rRaw) / 255
+		base, err1 := (Step{HEP: h}).EffectiveHEP()
+		mitigated, err2 := (Step{HEP: h, RecoveryFactor: rec}).EffectiveHEP()
+		return err1 == nil && err2 == nil && mitigated <= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

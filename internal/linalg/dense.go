@@ -1,0 +1,372 @@
+// Package linalg provides the numerical linear algebra needed to solve
+// Markov availability models: dense LU factorization with partial
+// pivoting (for steady-state balance equations and absorbing-chain
+// fundamental matrices), sparse CSR matrices, and iterative solvers
+// for larger state spaces. Only the standard library is used.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular is returned when a factorization or solve encounters an
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewDense returns a zeroed r-by-c matrix. It panics for non-positive
+// dimensions.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dense dimensions %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewDenseFromRows builds a matrix from row slices, which must all have
+// equal length.
+func NewDenseFromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: empty row data")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged row %d: len %d, want %d", i, len(row), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// MulVec computes y = m * x. It panics on dimension mismatch.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %d cols vs %d vec", m.Cols, len(x)))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// VecMul computes y = x^T * m (left multiplication), the natural
+// orientation for probability-vector times transition-matrix products.
+func (m *Dense) VecMul(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("linalg: VecMul dimension mismatch: %d rows vs %d vec", m.Rows, len(x)))
+	}
+	y := make([]float64, m.Cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+	return y
+}
+
+// Mul returns the matrix product m * b.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch: %dx%d times %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&sb, "% .6g", m.At(i, j))
+			if j < m.Cols-1 {
+				sb.WriteByte('\t')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// LU is an LU factorization with partial pivoting: P*A = L*U.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	sign  int
+}
+
+// Factorize computes the LU decomposition of a square matrix with
+// partial pivoting (Doolittle). It returns ErrSingular when a pivot
+// underflows the numeric tolerance.
+func Factorize(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("linalg: Factorize needs square matrix, got %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		pivot[k] = p
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			ri := lu.Data[p*n : (p+1)*n]
+			rk := lu.Data[k*n : (k+1)*n]
+			for j := range ri {
+				ri[j], rk[j] = rk[j], ri[j]
+			}
+			sign = -sign
+		}
+		pivotVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivotVal
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			ri := lu.Data[i*n : (i+1)*n]
+			rk := lu.Data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Solve solves A x = b for one right-hand side.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: Solve dimension mismatch: %d vs %d", len(b), n))
+	}
+	x := append([]float64(nil), b...)
+	// Apply permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d == 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveRefined solves A x = b and performs up to iters steps of
+// iterative refinement using the original matrix, improving residuals
+// for ill-conditioned balance equations (rates spanning 1e-7 .. 1).
+func SolveRefined(a *Dense, b []float64, iters int) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		return nil, err
+	}
+	for it := 0; it < iters; it++ {
+		r := Residual(a, x, b)
+		if InfNorm(r) <= 1e-16*(1+InfNorm(b)) {
+			break
+		}
+		d, err := f.Solve(r)
+		if err != nil {
+			return nil, err
+		}
+		for i := range x {
+			x[i] += d[i]
+		}
+	}
+	return x, nil
+}
+
+// Residual returns b - A x.
+func Residual(a *Dense, x, b []float64) []float64 {
+	ax := a.MulVec(x)
+	r := make([]float64, len(b))
+	for i := range r {
+		r[i] = b[i] - ax[i]
+	}
+	return r
+}
+
+// Inverse computes A^-1 column by column; primarily for the absorbing
+// chain fundamental matrix N = (I-Q)^-1.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// InfNorm returns the max-abs element of a vector.
+func InfNorm(v []float64) float64 {
+	max := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Norm1 returns the sum of absolute values of a vector.
+func Norm1(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Scale multiplies every element of v by s, in place.
+func Scale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Normalize1 scales v so its 1-norm is 1 (probability normalization).
+// It panics when the norm is zero.
+func Normalize1(v []float64) {
+	n := Norm1(v)
+	if n == 0 {
+		panic("linalg: cannot normalize zero vector")
+	}
+	Scale(v, 1/n)
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,339 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"herald/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 1)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 6 || m.At(0, 1) != 0 {
+		t.Fatalf("element access wrong: %v", m.Data)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestNewDenseFromRows(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("row construction wrong")
+	}
+}
+
+func TestNewDenseFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDenseFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	y := m.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestVecMul(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	y := m.VecMul([]float64{1, 1})
+	if y[0] != 4 || y[1] != 6 {
+		t.Fatalf("VecMul = %v", y)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul mismatch at %d,%d: %v", i, j, c.At(i, j))
+			}
+		}
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	r := xrand.New(1)
+	a := NewDense(4, 4)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	p := a.Mul(Identity(4))
+	for i := range a.Data {
+		if !almostEq(p.Data[i], a.Data[i], 1e-15) {
+			t.Fatal("A*I != A")
+		}
+	}
+}
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	a := NewDenseFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-12) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -6, 1e-12) {
+		t.Fatalf("det = %v, want -6", f.Det())
+	}
+	if !almostEq(mustFactorize(t, Identity(5)).Det(), 1, 1e-15) {
+		t.Fatal("det(I) != 1")
+	}
+}
+
+func mustFactorize(t *testing.T, a *Dense) *LU {
+	t.Helper()
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSingularDetection(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := NewDenseFromRows([][]float64{{0, 1}, {1, 0}})
+	f := mustFactorize(t, a)
+	x, err := f.Solve([]float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 7, 1e-14) || !almostEq(x[1], 3, 1e-14) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveRefinedRandomSystems(t *testing.T) {
+	r := xrand.New(99)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(20)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Add(i, i, rowSum+1) // diagonally dominant => well-conditioned
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64() * 10
+		}
+		b := a.MulVec(want)
+		x, err := SolveRefined(a, b, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !almostEq(x[i], want[i], 1e-9*(1+math.Abs(want[i]))) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.6, -0.7}, {-0.2, 0.4}}
+	for i := range want {
+		for j := range want[i] {
+			if !almostEq(inv.At(i, j), want[i][j], 1e-12) {
+				t.Fatalf("inverse = %v", inv)
+			}
+		}
+	}
+	prod := a.Mul(inv)
+	id := Identity(2)
+	for i := range id.Data {
+		if !almostEq(prod.Data[i], id.Data[i], 1e-12) {
+			t.Fatal("A * A^-1 != I")
+		}
+	}
+}
+
+func TestResidualAndNorms(t *testing.T) {
+	a := Identity(3)
+	x := []float64{1, 2, 3}
+	r := Residual(a, x, []float64{1, 2, 4})
+	if r[0] != 0 || r[1] != 0 || r[2] != 1 {
+		t.Fatalf("residual = %v", r)
+	}
+	if InfNorm([]float64{-5, 2}) != 5 {
+		t.Fatal("InfNorm wrong")
+	}
+	if Norm1([]float64{-1, 2, -3}) != 6 {
+		t.Fatal("Norm1 wrong")
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+}
+
+func TestNormalize1(t *testing.T) {
+	v := []float64{1, 3}
+	Normalize1(v)
+	if !almostEq(v[0], 0.25, 1e-15) || !almostEq(v[1], 0.75, 1e-15) {
+		t.Fatalf("normalized = %v", v)
+	}
+}
+
+func TestNormalize1ZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Normalize1([]float64{0, 0})
+}
+
+func TestDimensionPanics(t *testing.T) {
+	m := NewDense(2, 3)
+	cases := []func(){
+		func() { m.MulVec([]float64{1, 2}) },
+		func() { m.VecMul([]float64{1, 2, 3}) },
+		func() { m.Mul(NewDense(2, 2)) },
+		func() { Factorize(m) },
+		func() { NewDense(0, 1) },
+		func() { Dot([]float64{1}, []float64{1, 2}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickLUSolvesDiagonallyDominant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(8)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				v := r.Float64()*2 - 1
+				a.Set(i, j, v)
+				sum += math.Abs(v)
+			}
+			a.Add(i, i, sum+0.5)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.Float64()*20 - 10
+		}
+		x, err := SolveRefined(a, a.MulVec(want), 2)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if !almostEq(x[i], want[i], 1e-8*(1+math.Abs(want[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		rows, cols := 1+r.Intn(6), 1+r.Intn(6)
+		m := NewDense(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		tt := m.Transpose().Transpose()
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if NewDense(1, 1).String() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,142 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coord is one (row, col, value) triplet used to assemble sparse
+// matrices.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed sparse row matrix; the natural format for Markov
+// generator matrices whose rows hold a handful of outgoing transitions.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NewCSR assembles a CSR matrix from coordinate triplets. Duplicate
+// (row, col) entries are summed, matching the semantics of adding
+// parallel transitions between the same pair of Markov states.
+func NewCSR(rows, cols int, items []Coord) *CSR {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid CSR dimensions %dx%d", rows, cols))
+	}
+	sorted := append([]Coord(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	prevRow, prevCol := -1, -1
+	for _, it := range sorted {
+		if it.Row < 0 || it.Row >= rows || it.Col < 0 || it.Col >= cols {
+			panic(fmt.Sprintf("linalg: CSR entry (%d,%d) out of %dx%d", it.Row, it.Col, rows, cols))
+		}
+		if it.Row == prevRow && it.Col == prevCol {
+			m.Val[len(m.Val)-1] += it.Val
+			continue
+		}
+		m.ColIdx = append(m.ColIdx, it.Col)
+		m.Val = append(m.Val, it.Val)
+		m.RowPtr[it.Row+1]++
+		prevRow, prevCol = it.Row, it.Col
+	}
+	for i := 1; i <= rows; i++ {
+		m.RowPtr[i] += m.RowPtr[i-1]
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns element (i, j); zero if not stored.
+func (m *CSR) At(i, j int) float64 {
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		if m.ColIdx[k] == j {
+			return m.Val[k]
+		}
+	}
+	return 0
+}
+
+// MulVec computes y = M x.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: CSR MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// VecMul computes y = x^T M: the propagation step of a probability
+// vector through a transition matrix.
+func (m *CSR) VecMul(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("linalg: CSR VecMul dimension mismatch %d vs %d", len(x), m.Rows))
+	}
+	y := make([]float64, m.Cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			y[m.ColIdx[k]] += xi * m.Val[k]
+		}
+	}
+	return y
+}
+
+// Dense converts to a dense matrix (for small models and tests).
+func (m *CSR) Dense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d.Add(i, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return d
+}
+
+// PowerIteration iterates pi <- pi * P until the 1-norm change falls
+// below tol or maxIter sweeps elapse, returning the fixed point and the
+// number of iterations used. P must be a row-stochastic matrix; pi0 is
+// normalized before use. The second return is false when the iteration
+// did not converge.
+func PowerIteration(p *CSR, pi0 []float64, tol float64, maxIter int) ([]float64, int, bool) {
+	pi := append([]float64(nil), pi0...)
+	Normalize1(pi)
+	for it := 1; it <= maxIter; it++ {
+		next := p.VecMul(pi)
+		Normalize1(next)
+		diff := 0.0
+		for i := range next {
+			d := next[i] - pi[i]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		pi = next
+		if diff < tol {
+			return pi, it, true
+		}
+	}
+	return pi, maxIter, false
+}

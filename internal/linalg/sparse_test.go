@@ -1,0 +1,160 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"herald/internal/xrand"
+)
+
+func TestCSRAssembly(t *testing.T) {
+	m := NewCSR(3, 3, []Coord{
+		{0, 1, 2}, {2, 0, 5}, {1, 1, 1}, {0, 1, 3}, // duplicate (0,1) sums
+	})
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3 (duplicates summed)", m.NNZ())
+	}
+	if m.At(0, 1) != 5 {
+		t.Fatalf("At(0,1) = %v, want 5", m.At(0, 1))
+	}
+	if m.At(2, 0) != 5 || m.At(1, 1) != 1 || m.At(0, 0) != 0 {
+		t.Fatal("element lookup wrong")
+	}
+}
+
+func TestCSROutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSR(2, 2, []Coord{{2, 0, 1}})
+}
+
+func TestCSRMulVec(t *testing.T) {
+	// [[1 2],[3 4]] again, sparse.
+	m := NewCSR(2, 2, []Coord{{0, 0, 1}, {0, 1, 2}, {1, 0, 3}, {1, 1, 4}})
+	y := m.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	z := m.VecMul([]float64{1, 1})
+	if z[0] != 4 || z[1] != 6 {
+		t.Fatalf("VecMul = %v", z)
+	}
+}
+
+func TestCSRDenseRoundTrip(t *testing.T) {
+	r := xrand.New(5)
+	var items []Coord
+	for k := 0; k < 30; k++ {
+		items = append(items, Coord{r.Intn(6), r.Intn(6), r.NormFloat64()})
+	}
+	m := NewCSR(6, 6, items)
+	d := m.Dense()
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if !almostEq(m.At(i, j), d.At(i, j), 1e-15) {
+				t.Fatalf("dense mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestCSRMatchesDenseProducts(t *testing.T) {
+	r := xrand.New(9)
+	var items []Coord
+	for k := 0; k < 40; k++ {
+		items = append(items, Coord{r.Intn(8), r.Intn(8), r.Float64()})
+	}
+	m := NewCSR(8, 8, items)
+	d := m.Dense()
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	ys, yd := m.MulVec(x), d.MulVec(x)
+	zs, zd := m.VecMul(x), d.VecMul(x)
+	for i := range ys {
+		if !almostEq(ys[i], yd[i], 1e-12) || !almostEq(zs[i], zd[i], 1e-12) {
+			t.Fatal("sparse/dense product mismatch")
+		}
+	}
+}
+
+func TestPowerIterationTwoState(t *testing.T) {
+	// DTMC: P = [[0.9 0.1],[0.5 0.5]]; stationary pi = (5/6, 1/6).
+	p := NewCSR(2, 2, []Coord{{0, 0, 0.9}, {0, 1, 0.1}, {1, 0, 0.5}, {1, 1, 0.5}})
+	pi, _, ok := PowerIteration(p, []float64{1, 0}, 1e-14, 100000)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if !almostEq(pi[0], 5.0/6, 1e-9) || !almostEq(pi[1], 1.0/6, 1e-9) {
+		t.Fatalf("pi = %v", pi)
+	}
+}
+
+func TestPowerIterationNonConvergence(t *testing.T) {
+	// Period-2 chain never settles pointwise from a pure state.
+	p := NewCSR(2, 2, []Coord{{0, 1, 1}, {1, 0, 1}})
+	_, _, ok := PowerIteration(p, []float64{1, 0}, 1e-12, 50)
+	if ok {
+		t.Fatal("periodic chain should not converge from a pure state")
+	}
+}
+
+func TestPowerIterationPreservesNormalization(t *testing.T) {
+	p := NewCSR(3, 3, []Coord{
+		{0, 0, 0.5}, {0, 1, 0.5},
+		{1, 1, 0.2}, {1, 2, 0.8},
+		{2, 0, 1},
+	})
+	pi, _, ok := PowerIteration(p, []float64{1, 1, 1}, 1e-13, 100000)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if !almostEq(Norm1(pi), 1, 1e-12) {
+		t.Fatalf("norm = %v", Norm1(pi))
+	}
+	// Verify fixed point: pi P = pi.
+	next := p.VecMul(pi)
+	for i := range pi {
+		if !almostEq(next[i], pi[i], 1e-9) {
+			t.Fatalf("not a fixed point: %v vs %v", next, pi)
+		}
+	}
+}
+
+func TestQuickCSRVecMulLinear(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(6)
+		var items []Coord
+		for k := 0; k < 3*n; k++ {
+			items = append(items, Coord{r.Intn(n), r.Intn(n), r.NormFloat64()})
+		}
+		m := NewCSR(n, n, items)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		// M(x+y) == Mx + My
+		xy := make([]float64, n)
+		for i := range xy {
+			xy[i] = x[i] + y[i]
+		}
+		got := m.MulVec(xy)
+		mx, my := m.MulVec(x), m.MulVec(y)
+		for i := range got {
+			if math.Abs(got[i]-(mx[i]+my[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

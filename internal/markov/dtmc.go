@@ -1,0 +1,269 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"herald/internal/linalg"
+)
+
+// DTMC is a discrete-time Markov chain over named states. The paper's
+// figures are literally drawn in this form — per-step transition
+// probabilities with explicit self-loops R1..R11 (one step = one
+// hour) — so the package supports both formalisms and the tests prove
+// they agree for the rate magnitudes involved.
+type DTMC struct {
+	names []string
+	index map[string]int
+	p     *linalg.CSR
+}
+
+// DTMCBuilder assembles a DTMC from named states and transition
+// probabilities. Self-loop probabilities may be given explicitly or
+// left implicit (filled so each row sums to one).
+type DTMCBuilder struct {
+	names []string
+	index map[string]int
+	items []linalg.Coord
+	self  map[int]bool
+	errs  []string
+}
+
+// NewDTMCBuilder returns an empty builder.
+func NewDTMCBuilder() *DTMCBuilder {
+	return &DTMCBuilder{index: make(map[string]int), self: make(map[int]bool)}
+}
+
+// State declares a state (idempotent) and returns its index.
+func (b *DTMCBuilder) State(name string) int {
+	if i, ok := b.index[name]; ok {
+		return i
+	}
+	i := len(b.names)
+	b.names = append(b.names, name)
+	b.index[name] = i
+	return i
+}
+
+// Prob adds a one-step transition probability from -> to. Declaring a
+// self-transition marks the row as explicitly closed.
+func (b *DTMCBuilder) Prob(from, to string, p float64) *DTMCBuilder {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		b.errs = append(b.errs, fmt.Sprintf("invalid probability %v on %s->%s", p, from, to))
+		return b
+	}
+	f, t := b.State(from), b.State(to)
+	if f == t {
+		b.self[f] = true
+	}
+	if p == 0 {
+		return b
+	}
+	b.items = append(b.items, linalg.Coord{Row: f, Col: t, Val: p})
+	return b
+}
+
+// Build validates row stochasticity (filling implicit self-loops) and
+// returns the chain.
+func (b *DTMCBuilder) Build() (*DTMC, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("markov: invalid DTMC: %s", strings.Join(b.errs, "; "))
+	}
+	if len(b.names) == 0 {
+		return nil, errors.New("markov: DTMC has no states")
+	}
+	n := len(b.names)
+	rowSum := make([]float64, n)
+	for _, it := range b.items {
+		rowSum[it.Row] += it.Val
+	}
+	items := append([]linalg.Coord(nil), b.items...)
+	for i := 0; i < n; i++ {
+		excess := rowSum[i] - 1
+		switch {
+		case excess > 1e-9:
+			return nil, fmt.Errorf("markov: DTMC row %s sums to %v > 1", b.names[i], rowSum[i])
+		case b.self[i]:
+			if math.Abs(excess) > 1e-9 {
+				return nil, fmt.Errorf("markov: DTMC row %s sums to %v with explicit self-loop", b.names[i], rowSum[i])
+			}
+		default:
+			// Implicit self-loop closes the row.
+			items = append(items, linalg.Coord{Row: i, Col: i, Val: -excess})
+		}
+	}
+	c := &DTMC{
+		names: append([]string(nil), b.names...),
+		index: make(map[string]int, n),
+		p:     linalg.NewCSR(n, n, items),
+	}
+	for i, name := range c.names {
+		c.index[name] = i
+	}
+	return c, nil
+}
+
+// MustBuild is Build panicking on error.
+func (b *DTMCBuilder) MustBuild() *DTMC {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the number of states.
+func (d *DTMC) N() int { return len(d.names) }
+
+// StateName returns the name of state i.
+func (d *DTMC) StateName(i int) string { return d.names[i] }
+
+// StateIndex returns the index of a named state.
+func (d *DTMC) StateIndex(name string) (int, bool) {
+	i, ok := d.index[name]
+	return i, ok
+}
+
+// Prob returns the one-step probability from -> to.
+func (d *DTMC) Prob(from, to string) float64 {
+	f, ok1 := d.index[from]
+	t, ok2 := d.index[to]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return d.p.At(f, t)
+}
+
+// Step advances a distribution one step: pi' = pi P.
+func (d *DTMC) Step(pi []float64) []float64 { return d.p.VecMul(pi) }
+
+// StepN advances a distribution n steps.
+func (d *DTMC) StepN(pi []float64, n int) []float64 {
+	out := append([]float64(nil), pi...)
+	for i := 0; i < n; i++ {
+		out = d.p.VecMul(out)
+	}
+	return out
+}
+
+// Stationary computes the stationary distribution by power iteration.
+func (d *DTMC) Stationary(tol float64, maxIter int) ([]float64, error) {
+	pi0 := make([]float64, d.N())
+	for i := range pi0 {
+		pi0[i] = 1
+	}
+	pi, _, ok := linalg.PowerIteration(d.p, pi0, tol, maxIter)
+	if !ok {
+		return pi, ErrNotConverged
+	}
+	return pi, nil
+}
+
+// StationaryDirect computes the stationary distribution by solving
+// pi (P - I) = 0 with normalization, mirroring CTMC.SteadyState.
+func (d *DTMC) StationaryDirect() ([]float64, error) {
+	n := d.N()
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	a := d.p.Dense().Transpose()
+	for i := 0; i < n; i++ {
+		a.Add(i, i, -1)
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := linalg.SolveRefined(a, b, 4)
+	if err != nil {
+		return nil, fmt.Errorf("markov: DTMC stationary solve: %w", err)
+	}
+	for i, v := range pi {
+		if v < 0 {
+			if v < -1e-9 {
+				return nil, fmt.Errorf("markov: DTMC stationary has negative probability %v in state %s", v, d.names[i])
+			}
+			pi[i] = 0
+		}
+	}
+	linalg.Normalize1(pi)
+	return pi, nil
+}
+
+// StationaryProbability returns the stationary mass over named states.
+func (d *DTMC) StationaryProbability(states ...string) (float64, error) {
+	pi, err := d.StationaryDirect()
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, name := range states {
+		i, ok := d.index[name]
+		if !ok {
+			return 0, fmt.Errorf("markov: unknown state %q", name)
+		}
+		s += pi[i]
+	}
+	return s, nil
+}
+
+// Embedded returns the jump chain of a CTMC: the DTMC whose one-step
+// probabilities are P_ij = q_ij / q_i (the probability that the next
+// transition out of i goes to j), ignoring sojourn times. States with
+// no outgoing rate become absorbing. The classic identity
+// pi_ctmc(i) ~ pi_embedded(i) / q_i links the two stationary
+// distributions (verified by test).
+func (c *CTMC) Embedded() (*DTMC, error) {
+	b := NewDTMCBuilder()
+	for _, name := range c.names {
+		b.State(name)
+	}
+	exit := make([]float64, c.N())
+	for _, tr := range c.trans {
+		exit[tr.From] += tr.Rate
+	}
+	for _, tr := range c.trans {
+		b.Prob(c.names[tr.From], c.names[tr.To], tr.Rate/exit[tr.From])
+	}
+	return b.Build()
+}
+
+// Discretize converts a CTMC into the DTMC of its hourly (or any dt)
+// first-order Euler discretization: P = I + Q dt. This is exactly the
+// chain the paper's figures draw (self-loops R = 1 - sum of exit
+// probabilities). It returns an error when dt is too coarse for the
+// rates (a row would go negative).
+func (c *CTMC) Discretize(dt float64) (*DTMC, error) {
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return nil, fmt.Errorf("markov: invalid step %v", dt)
+	}
+	b := NewDTMCBuilder()
+	// Preserve state order.
+	for _, name := range c.names {
+		b.State(name)
+	}
+	exit := make([]float64, c.N())
+	for _, tr := range c.trans {
+		p := tr.Rate * dt
+		exit[tr.From] += p
+		b.Prob(c.names[tr.From], c.names[tr.To], math.Min(p, 1))
+	}
+	for i, e := range exit {
+		if e > 1 {
+			return nil, fmt.Errorf("markov: step %v too coarse for state %s (exit probability %v)", dt, c.names[i], e)
+		}
+	}
+	return b.Build()
+}
+
+// SortedNames returns the state names sorted alphabetically (handy for
+// stable test output).
+func (d *DTMC) SortedNames() []string {
+	out := append([]string(nil), d.names...)
+	sort.Strings(out)
+	return out
+}

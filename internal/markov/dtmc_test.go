@@ -1,0 +1,230 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"herald/internal/xrand"
+)
+
+func TestDTMCBuilderImplicitSelfLoop(t *testing.T) {
+	d := NewDTMCBuilder().
+		Prob("A", "B", 0.3).
+		Prob("B", "A", 0.1).
+		MustBuild()
+	if got := d.Prob("A", "A"); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("implicit self-loop = %v", got)
+	}
+	if got := d.Prob("B", "B"); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("implicit self-loop = %v", got)
+	}
+}
+
+func TestDTMCBuilderExplicitSelfLoopMustClose(t *testing.T) {
+	// Explicit self-loop that does not close the row is an error.
+	_, err := NewDTMCBuilder().
+		Prob("A", "A", 0.5).
+		Prob("A", "B", 0.3).
+		Prob("B", "A", 1).
+		Build()
+	if err == nil {
+		t.Fatal("unclosed explicit row accepted")
+	}
+	// And one that does close it is fine.
+	d := NewDTMCBuilder().
+		Prob("A", "A", 0.7).
+		Prob("A", "B", 0.3).
+		Prob("B", "A", 1).
+		MustBuild()
+	if d.Prob("A", "A") != 0.7 {
+		t.Fatal("explicit self-loop lost")
+	}
+}
+
+func TestDTMCBuilderRejectsOverflowRow(t *testing.T) {
+	_, err := NewDTMCBuilder().Prob("A", "B", 0.8).Prob("A", "C", 0.5).Build()
+	if err == nil {
+		t.Fatal("row sum > 1 accepted")
+	}
+}
+
+func TestDTMCBuilderRejectsBadProb(t *testing.T) {
+	if _, err := NewDTMCBuilder().Prob("A", "B", -0.1).Build(); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if _, err := NewDTMCBuilder().Prob("A", "B", 1.5).Build(); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if _, err := NewDTMCBuilder().Build(); err == nil {
+		t.Fatal("empty DTMC accepted")
+	}
+}
+
+func TestDTMCStationaryTwoState(t *testing.T) {
+	// P(A->B)=0.2, P(B->A)=0.6: stationary (0.75, 0.25).
+	d := NewDTMCBuilder().Prob("A", "B", 0.2).Prob("B", "A", 0.6).MustBuild()
+	pi, err := d.Stationary(1e-14, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iA, _ := d.StateIndex("A")
+	if math.Abs(pi[iA]-0.75) > 1e-9 {
+		t.Fatalf("pi(A) = %v", pi[iA])
+	}
+	direct, err := d.StationaryDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		if math.Abs(pi[i]-direct[i]) > 1e-9 {
+			t.Fatalf("power %v vs direct %v", pi, direct)
+		}
+	}
+}
+
+func TestDTMCStepConservesMass(t *testing.T) {
+	d := NewDTMCBuilder().
+		Prob("A", "B", 0.5).Prob("B", "C", 0.25).Prob("C", "A", 1).
+		MustBuild()
+	pi := []float64{1, 0, 0}
+	for k := 0; k < 50; k++ {
+		pi = d.Step(pi)
+		s := 0.0
+		for _, v := range pi {
+			if v < -1e-15 {
+				t.Fatalf("negative probability at step %d", k)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("mass %v at step %d", s, k)
+		}
+	}
+}
+
+func TestDTMCStepN(t *testing.T) {
+	d := NewDTMCBuilder().Prob("A", "B", 1).Prob("B", "A", 1).MustBuild()
+	pi := d.StepN([]float64{1, 0}, 2)
+	if math.Abs(pi[0]-1) > 1e-15 {
+		t.Fatalf("period-2 chain after 2 steps = %v", pi)
+	}
+}
+
+func TestDiscretizeMatchesCTMCSteadyState(t *testing.T) {
+	// The paper's figures: hourly DTMC with self-loops R=1-sum(exits).
+	// For small rate*dt the stationary distributions must agree.
+	c := NewBuilder().
+		At("OP", "EXP", 4e-4).
+		At("EXP", "DL", 3e-4).
+		At("EXP", "OP", 0.1).
+		At("DL", "OP", 0.03).
+		MustBuild()
+	d, err := c.Discretize(1) // one-hour steps
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctmcPi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtmcPi, err := d.StationaryDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ctmcPi {
+		// First-order discretization: stationary vectors agree exactly
+		// (P - I = Q dt shares Q's null space).
+		if math.Abs(ctmcPi[i]-dtmcPi[i]) > 1e-10 {
+			t.Fatalf("state %d: CTMC %v vs DTMC %v", i, ctmcPi[i], dtmcPi[i])
+		}
+	}
+}
+
+func TestDiscretizeRejectsCoarseStep(t *testing.T) {
+	c := NewBuilder().At("A", "B", 0.8).At("B", "A", 0.8).MustBuild()
+	if _, err := c.Discretize(2); err == nil {
+		t.Fatal("coarse discretization accepted")
+	}
+	if _, err := c.Discretize(0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestDiscretizePreservesProbabilities(t *testing.T) {
+	c := NewBuilder().At("UP", "DOWN", 0.001).At("DOWN", "UP", 0.1).MustBuild()
+	d, err := c.Discretize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Prob("UP", "DOWN"); math.Abs(got-0.001) > 1e-15 {
+		t.Fatalf("P(UP->DOWN) = %v", got)
+	}
+	if got := d.Prob("UP", "UP"); math.Abs(got-0.999) > 1e-15 {
+		t.Fatalf("R(UP) = %v", got)
+	}
+}
+
+func TestDTMCAccessors(t *testing.T) {
+	d := NewDTMCBuilder().Prob("B", "A", 0.5).Prob("A", "B", 0.5).MustBuild()
+	if d.N() != 2 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if d.StateName(0) != "B" {
+		t.Fatalf("declaration order lost: %v", d.StateName(0))
+	}
+	names := d.SortedNames()
+	if names[0] != "A" || names[1] != "B" {
+		t.Fatalf("sorted = %v", names)
+	}
+	if _, ok := d.StateIndex("Z"); ok {
+		t.Fatal("phantom state")
+	}
+	if d.Prob("Z", "A") != 0 {
+		t.Fatal("phantom probability")
+	}
+	if _, err := d.StationaryProbability("Z"); err == nil {
+		t.Fatal("unknown state accepted")
+	}
+	p, err := d.StationaryProbability("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1) > 1e-12 {
+		t.Fatalf("total = %v", p)
+	}
+}
+
+func TestQuickDiscretizedStationaryMatches(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + int(seed%5)
+		b := NewBuilder()
+		names := make([]string, n)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		for i := 0; i < n; i++ {
+			b.At(names[i], names[(i+1)%n], 0.001+0.3*r.Float64())
+		}
+		c := b.MustBuild()
+		d, err := c.Discretize(1)
+		if err != nil {
+			return false
+		}
+		cp, err1 := c.SteadyState()
+		dp, err2 := d.StationaryDirect()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range cp {
+			if math.Abs(cp[i]-dp[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEmbeddedJumpProbabilities(t *testing.T) {
+	c := NewBuilder().
+		At("A", "B", 3).
+		At("A", "C", 1).
+		At("B", "A", 2).
+		At("C", "A", 5).
+		MustBuild()
+	d, err := c.Embedded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Prob("A", "B"); math.Abs(got-0.75) > 1e-15 {
+		t.Fatalf("P(A->B) = %v, want 0.75", got)
+	}
+	if got := d.Prob("A", "C"); math.Abs(got-0.25) > 1e-15 {
+		t.Fatalf("P(A->C) = %v, want 0.25", got)
+	}
+	if got := d.Prob("B", "A"); got != 1 {
+		t.Fatalf("P(B->A) = %v, want 1", got)
+	}
+}
+
+func TestEmbeddedStationaryIdentity(t *testing.T) {
+	// pi_ctmc(i) proportional to pi_embedded(i) / q_i.
+	c := NewBuilder().
+		At("A", "B", 0.4).
+		At("B", "C", 1.2).
+		At("C", "A", 0.7).
+		At("B", "A", 0.3).
+		At("A", "C", 0.1).
+		MustBuild()
+	d, err := c.Embedded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctmcPi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	embPi, err := d.StationaryDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := make([]float64, c.N())
+	total := 0.0
+	for i := range derived {
+		derived[i] = embPi[i] / c.ExitRate(i)
+		total += derived[i]
+	}
+	for i := range derived {
+		derived[i] /= total
+		if math.Abs(derived[i]-ctmcPi[i]) > 1e-10 {
+			t.Fatalf("state %d: derived %v vs ctmc %v", i, derived[i], ctmcPi[i])
+		}
+	}
+}
+
+func TestEmbeddedAbsorbingState(t *testing.T) {
+	// A state with no exits becomes absorbing in the jump chain
+	// (implicit self-loop of probability 1).
+	c := NewBuilder().At("A", "B", 1).MustBuild()
+	d, err := c.Embedded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Prob("B", "B"); got != 1 {
+		t.Fatalf("absorbing self-loop = %v", got)
+	}
+}

@@ -1,0 +1,486 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// conventionalClosedForm solves the Fig. 2 (+DUR) balance equations by
+// hand:
+//
+//	piEXP = n*l*piOP / ((n-1)*l + muDF)
+//	piDU  = hep*muDF*piEXP / ((1-hep)*muHE + lCrash)
+//	piDUR = (1-hep)*muHE*piDU / muDDF        (ResyncAfterUndo only)
+//	piDL  = ((n-1)*l*piEXP + lCrash*piDU) / muDDF
+func conventionalClosedForm(p Params) map[string]float64 {
+	n := float64(p.Disks)
+	piOP := 1.0
+	piEXP := n * p.Lambda * piOP / ((n-1)*p.Lambda + p.MuDF)
+	duOut := (1-p.HEP)*p.MuHE + p.LambdaCrash
+	piDU := 0.0
+	if duOut > 0 {
+		piDU = p.HEP * p.MuDF * piEXP / duOut
+	}
+	piDUR := 0.0
+	if p.ResyncAfterUndo {
+		piDUR = (1 - p.HEP) * p.MuHE * piDU / p.MuDDF
+	}
+	piDL := ((n-1)*p.Lambda*piEXP + p.LambdaCrash*piDU) / p.MuDDF
+	total := piOP + piEXP + piDU + piDUR + piDL
+	out := map[string]float64{
+		StateOP: piOP / total, StateEXP: piEXP / total,
+		StateDU: piDU / total, StateDL: piDL / total,
+	}
+	if p.ResyncAfterUndo {
+		out[StateDUR] = piDUR / total
+	}
+	return out
+}
+
+func TestConventionalMatchesClosedForm(t *testing.T) {
+	for _, hep := range []float64{0, 0.001, 0.01} {
+		for _, lambda := range []float64{1e-7, 1e-6, 1e-5, 5e-4} {
+			for _, resync := range []bool{true, false} {
+				p := Paper(4, lambda, hep)
+				p.ResyncAfterUndo = resync
+				res, err := Conventional(p)
+				if err != nil {
+					t.Fatalf("lambda=%v hep=%v: %v", lambda, hep, err)
+				}
+				want := conventionalClosedForm(p)
+				for s, w := range want {
+					if got := res.Pi[s]; math.Abs(got-w) > 1e-12*(1+w) {
+						t.Errorf("lambda=%v hep=%v resync=%v state %s: pi=%v, want %v", lambda, hep, resync, s, got, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConventionalBreakdownConsistent(t *testing.T) {
+	res, err := Conventional(Paper(4, 1e-5, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Availability + res.UnavailabilityDU + res.UnavailabilityDL
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("probability mass = %v", total)
+	}
+	if res.UnavailabilityDU <= 0 || res.UnavailabilityDL <= 0 {
+		t.Fatal("expected positive DU and DL mass at hep=0.01")
+	}
+}
+
+func TestHEPZeroHasNoDUMass(t *testing.T) {
+	res, err := Conventional(Paper(4, 1e-5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnavailabilityDU != 0 {
+		t.Fatalf("DU mass = %v at hep=0", res.UnavailabilityDU)
+	}
+}
+
+func TestAvailabilityMonotoneInHEP(t *testing.T) {
+	prev := math.Inf(1)
+	for _, hep := range []float64{0, 1e-4, 1e-3, 1e-2, 1e-1} {
+		res, err := Conventional(Paper(4, 1e-6, hep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Availability >= prev {
+			t.Fatalf("availability not decreasing at hep=%v: %v >= %v", hep, res.Availability, prev)
+		}
+		prev = res.Availability
+	}
+}
+
+func TestAvailabilityMonotoneInLambda(t *testing.T) {
+	prev := math.Inf(1)
+	for _, l := range []float64{1e-7, 1e-6, 1e-5, 1e-4} {
+		res, err := Conventional(Paper(4, l, 0.001))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Availability >= prev {
+			t.Fatalf("availability not decreasing at lambda=%v", l)
+		}
+		prev = res.Availability
+	}
+}
+
+func TestPaperHeadlineHumanErrorDrop(t *testing.T) {
+	// §V-B: at hep = 0.001 availability drops by one to two orders of
+	// magnitude of unavailability for typical failure rates.
+	ratio, err := UnderestimationRatio(Paper(4, 1e-6, 0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 5 {
+		t.Fatalf("underestimation ratio %v; paper reports order(s) of magnitude", ratio)
+	}
+	// And dramatically more at hep = 0.01 with rare failures (the
+	// "up to three orders of magnitude / 263x" regime).
+	ratio, err = UnderestimationRatio(Paper(4, 1e-7, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 100 {
+		t.Fatalf("underestimation ratio %v at the headline point; want >= 100", ratio)
+	}
+}
+
+func TestUnderestimationRatioAtZeroHEPIsOne(t *testing.T) {
+	ratio, err := UnderestimationRatio(Paper(4, 1e-6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratio-1) > 1e-9 {
+		t.Fatalf("ratio = %v, want 1", ratio)
+	}
+}
+
+func TestConventionalChainStructure(t *testing.T) {
+	c, err := ConventionalChain(Paper(4, 1e-6, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 5 {
+		t.Fatalf("state count = %d, want 5 (OP EXP DU DUR DL)", c.N())
+	}
+	if !c.IsIrreducible() {
+		t.Fatal("conventional chain not irreducible")
+	}
+	// Spot-check rates against the figure.
+	if got := c.Rate(StateOP, StateEXP); math.Abs(got-4e-6) > 1e-18 {
+		t.Errorf("OP->EXP rate = %v", got)
+	}
+	if got := c.Rate(StateEXP, StateDU); math.Abs(got-0.01*0.1) > 1e-15 {
+		t.Errorf("EXP->DU rate = %v", got)
+	}
+	if got := c.Rate(StateDU, StateDUR); math.Abs(got-0.99) > 1e-12 {
+		t.Errorf("DU->DUR rate = %v", got)
+	}
+	if got := c.Rate(StateDUR, StateOP); math.Abs(got-0.03) > 1e-15 {
+		t.Errorf("DUR->OP rate = %v", got)
+	}
+
+	// The literal-figure variant keeps the 4-state shape.
+	lit := Paper(4, 1e-6, 0.01)
+	lit.ResyncAfterUndo = false
+	cl, err := ConventionalChain(lit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.N() != 4 {
+		t.Fatalf("literal chain state count = %d, want 4", cl.N())
+	}
+	if got := cl.Rate(StateDU, StateOP); math.Abs(got-0.99) > 1e-12 {
+		t.Errorf("literal DU->OP rate = %v", got)
+	}
+}
+
+func TestRAID1IsTwoDiskChain(t *testing.T) {
+	res, err := Conventional(Paper(2, 1e-5, 0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Availability <= 0 || res.Availability >= 1 {
+		t.Fatalf("availability = %v", res.Availability)
+	}
+}
+
+func TestFailoverBeatsConventional(t *testing.T) {
+	// §V-D: automatic fail-over significantly moderates human error
+	// impact; at hep = 0.01 the paper reports ~2 orders of magnitude.
+	for _, hep := range []float64{0.001, 0.01} {
+		conv, err := Conventional(Paper(4, 1e-6, hep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fo, err := Failover(PaperFailover(4, 1e-6, hep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fo.Availability <= conv.Availability {
+			t.Fatalf("hep=%v: fail-over %v not better than conventional %v",
+				hep, fo.Availability, conv.Availability)
+		}
+	}
+}
+
+func TestFailoverGainGrowsWithHEP(t *testing.T) {
+	// The paper: delayed replacement helps more when hep is larger.
+	gain := func(hep float64) float64 {
+		conv, err := Conventional(Paper(4, 1e-6, hep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fo, err := Failover(PaperFailover(4, 1e-6, hep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conv.Unavailability() / fo.Unavailability()
+	}
+	if g1, g2 := gain(0.001), gain(0.01); g2 <= g1 {
+		t.Fatalf("gain at hep=0.01 (%v) not above gain at hep=0.001 (%v)", g2, g1)
+	}
+}
+
+func TestFailoverChainStructure(t *testing.T) {
+	c, err := FailoverChain(PaperFailover(4, 1e-6, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 12 {
+		t.Fatalf("state count = %d, want 12 (full Fig. 3)", c.N())
+	}
+	if !c.IsIrreducible() {
+		t.Fatal("fail-over chain not irreducible")
+	}
+	// No human error opportunity while rebuilding onto the spare.
+	if got := c.Rate(StateEXP1, StateDUns1); got != 0 {
+		t.Errorf("EXP1 has a human error path: %v", got)
+	}
+	if got := c.Rate(StateEXP1, StateOPns); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("EXP1->OPns = %v, want muS=0.1 (10h on-line rebuild)", got)
+	}
+}
+
+func TestFailoverReducedVariant(t *testing.T) {
+	p := PaperFailover(4, 1e-6, 0.01)
+	p.InstallAsSpare = false
+	p.DownAltService = false
+	c, err := FailoverChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 9 {
+		t.Fatalf("reduced chain has %d states, want 9 (no EXP2/DU1/DU2)", c.N())
+	}
+	res, err := Failover(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Availability <= 0 || res.Availability >= 1 {
+		t.Fatalf("availability = %v", res.Availability)
+	}
+}
+
+func TestFailoverHEPZero(t *testing.T) {
+	res, err := Failover(PaperFailover(4, 1e-5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnavailabilityDU > 1e-15 {
+		t.Fatalf("DU mass = %v at hep=0", res.UnavailabilityDU)
+	}
+	if res.UnavailabilityDL <= 0 {
+		t.Fatal("expected DL mass from double failures")
+	}
+}
+
+func TestDualParityBeatsSingleParity(t *testing.T) {
+	for _, hep := range []float64{0, 0.001, 0.01} {
+		single, err := Conventional(Paper(6, 1e-5, hep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		double, err := DualParity(Paper(6, 1e-5, hep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if double.Availability <= single.Availability {
+			t.Fatalf("hep=%v: dual parity %v not above single parity %v",
+				hep, double.Availability, single.Availability)
+		}
+	}
+}
+
+func TestDualParityNeedsFourDisks(t *testing.T) {
+	if _, err := DualParityChain(Paper(3, 1e-5, 0)); err == nil {
+		t.Fatal("3-disk dual parity accepted")
+	}
+}
+
+func TestMTTDLMatchesClosedFormAtHEPZero(t *testing.T) {
+	// Without human error the chain reduces to the textbook RAID5
+	// MTTDL = (muDF + (2n-1)lambda) / (n(n-1)lambda^2).
+	p := Paper(4, 1e-4, 0)
+	got, err := MTTDL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, l := float64(p.Disks), p.Lambda
+	want := (p.MuDF + (2*n-1)*l) / (n * (n - 1) * l * l)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("MTTDL = %v, want %v", got, want)
+	}
+}
+
+func TestMTTDLShrinksWithHEP(t *testing.T) {
+	base, err := MTTDL(Paper(4, 1e-5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withHE, err := MTTDL(Paper(4, 1e-5, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withHE >= base {
+		t.Fatalf("MTTDL with human error (%v) not below baseline (%v)", withHE, base)
+	}
+}
+
+func TestFleetAvailability(t *testing.T) {
+	if got := FleetAvailability(0.99, 1); got != 0.99 {
+		t.Fatalf("single array = %v", got)
+	}
+	got := FleetAvailability(0.99, 3)
+	want := 0.99 * 0.99 * 0.99
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("fleet = %v, want %v", got, want)
+	}
+}
+
+func TestFleetAvailabilityPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FleetAvailability(0.9, 0) },
+		func() { FleetAvailability(1.5, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRAIDRankingFlipsUnderHumanError(t *testing.T) {
+	// §V-C: at equal usable capacity (21 disk units), RAID1(1+1)
+	// leads without human error but falls below RAID5(3+1) when
+	// hep > 0 because of its higher ERF.
+	fleetNines := func(n, count int, hep float64) float64 {
+		res, err := Conventional(Paper(n, 1e-5, hep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return -math.Log10(1 - FleetAvailability(res.Availability, count))
+	}
+	// RAID1: 21 arrays of 2 disks; RAID5(3+1): 7 arrays of 4 disks.
+	r1NoHE := fleetNines(2, 21, 0)
+	r5NoHE := fleetNines(4, 7, 0)
+	if r1NoHE <= r5NoHE {
+		t.Fatalf("without human error RAID1 (%v nines) should lead RAID5(3+1) (%v nines)", r1NoHE, r5NoHE)
+	}
+	r1HE := fleetNines(2, 21, 0.01)
+	r5HE := fleetNines(4, 7, 0.01)
+	if r1HE >= r5HE {
+		t.Fatalf("with hep=0.01 RAID1 (%v nines) should fall below RAID5(3+1) (%v nines)", r1HE, r5HE)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{Disks: 1, Lambda: 1e-6, MuDF: 0.1, MuDDF: 0.03, MuHE: 1},
+		{Disks: 4, Lambda: 0, MuDF: 0.1, MuDDF: 0.03, MuHE: 1},
+		{Disks: 4, Lambda: 1e-6, MuDF: 0, MuDDF: 0.03, MuHE: 1},
+		{Disks: 4, Lambda: 1e-6, MuDF: 0.1, MuDDF: 0, MuHE: 1},
+		{Disks: 4, Lambda: 1e-6, MuDF: 0.1, MuDDF: 0.03, MuHE: 0, HEP: 0.01},
+		{Disks: 4, Lambda: 1e-6, MuDF: 0.1, MuDDF: 0.03, MuHE: 1, HEP: 1.5},
+		{Disks: 4, Lambda: 1e-6, MuDF: 0.1, MuDDF: 0.03, MuHE: 1, LambdaCrash: -1},
+	}
+	for i, p := range bad {
+		if _, err := Conventional(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+	foBad := PaperFailover(4, 1e-6, 0.01)
+	foBad.MuS = 0
+	if _, err := Failover(foBad); err == nil {
+		t.Error("muS=0 accepted")
+	}
+	foBad = PaperFailover(4, 1e-6, 0.01)
+	foBad.MuCH = 0
+	if _, err := Failover(foBad); err == nil {
+		t.Error("muCH=0 accepted")
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	res, err := Conventional(Paper(4, 1e-6, 0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nines() <= 0 {
+		t.Error("nines should be positive")
+	}
+	if math.Abs(res.Unavailability()-(1-res.Availability)) > 1e-15 {
+		t.Error("unavailability mismatch")
+	}
+	if res.DowntimeHoursPerYear() <= 0 {
+		t.Error("downtime should be positive")
+	}
+}
+
+func TestChainDOTRendering(t *testing.T) {
+	c, err := FailoverChain(PaperFailover(4, 1e-6, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := c.DOT("failover")
+	for _, s := range []string{StateOP, StateEXP1, StateDUns2, StateDLns} {
+		if !strings.Contains(dot, s) {
+			t.Errorf("DOT missing state %s", s)
+		}
+	}
+}
+
+func TestQuickAvailabilityBounds(t *testing.T) {
+	f := func(lRaw, hRaw uint16) bool {
+		lambda := 1e-8 + float64(lRaw)/65535*1e-4
+		hep := float64(hRaw) / 65535 * 0.1
+		res, err := Conventional(Paper(4, lambda, hep))
+		if err != nil {
+			return false
+		}
+		return res.Availability > 0 && res.Availability < 1 &&
+			res.UnavailabilityDU >= 0 && res.UnavailabilityDL >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFailoverAvailabilityBounds(t *testing.T) {
+	f := func(lRaw, hRaw uint16) bool {
+		lambda := 1e-8 + float64(lRaw)/65535*1e-4
+		hep := float64(hRaw) / 65535 * 0.1
+		res, err := Failover(PaperFailover(4, lambda, hep))
+		if err != nil {
+			return false
+		}
+		return res.Availability > 0 && res.Availability < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFleetMonotoneInCount(t *testing.T) {
+	f := func(cRaw uint8) bool {
+		count := 1 + int(cRaw%50)
+		a := FleetAvailability(0.9999, count)
+		b := FleetAvailability(0.9999, count+1)
+		return b < a && a <= 0.9999
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

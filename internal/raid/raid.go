@@ -1,0 +1,213 @@
+// Package raid models RAID array geometry: data/parity layout, fault
+// tolerance, Effective Replication Factor (ERF), and equivalent-usable-
+// capacity fleet planning.
+//
+// The ERF — the ratio of physical to logical capacity (Muralidhar et
+// al., OSDI'14, cited by the paper) — drives the paper's §V-C result:
+// for a fixed usable capacity, RAID1's ERF of 2 requires more physical
+// disks than RAID5's 1.33 (3+1) or 1.14 (7+1), giving human errors more
+// opportunities to strike.
+package raid
+
+import (
+	"fmt"
+)
+
+// Level identifies a RAID redundancy scheme.
+type Level int
+
+const (
+	// RAID0 stripes with no redundancy.
+	RAID0 Level = iota
+	// RAID1 mirrors data across all members.
+	RAID1
+	// RAID5 stripes with single distributed parity.
+	RAID5
+	// RAID6 stripes with dual distributed parity.
+	RAID6
+	// RAID10 stripes across mirrored pairs.
+	RAID10
+)
+
+// String returns the conventional name of the level.
+func (l Level) String() string {
+	switch l {
+	case RAID0:
+		return "RAID0"
+	case RAID1:
+		return "RAID1"
+	case RAID5:
+		return "RAID5"
+	case RAID6:
+		return "RAID6"
+	case RAID10:
+		return "RAID10"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Config is a concrete array geometry: a RAID level populated with
+// Data data-bearing disks and Parity redundancy disks. The notation
+// "RAID5 (3+1)" maps to Config{Level: RAID5, Data: 3, Parity: 1}.
+type Config struct {
+	Level  Level
+	Data   int // disks worth of usable capacity
+	Parity int // disks worth of redundancy
+}
+
+// Common paper configurations.
+var (
+	// R1Mirror is RAID1 (1+1): one data disk, one mirror.
+	R1Mirror = Config{Level: RAID1, Data: 1, Parity: 1}
+	// R5Small is RAID5 (3+1).
+	R5Small = Config{Level: RAID5, Data: 3, Parity: 1}
+	// R5Wide is RAID5 (7+1).
+	R5Wide = Config{Level: RAID5, Data: 7, Parity: 1}
+)
+
+// New validates and returns a Config.
+func New(level Level, data, parity int) (Config, error) {
+	c := Config{Level: level, Data: data, Parity: parity}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Validate checks the geometry is well-formed for its level.
+func (c Config) Validate() error {
+	if c.Data < 1 {
+		return fmt.Errorf("raid: %s needs at least one data disk, got %d", c.Level, c.Data)
+	}
+	switch c.Level {
+	case RAID0:
+		if c.Parity != 0 {
+			return fmt.Errorf("raid: RAID0 cannot carry parity disks, got %d", c.Parity)
+		}
+	case RAID1:
+		if c.Parity < 1 {
+			return fmt.Errorf("raid: RAID1 needs at least one mirror disk, got %d", c.Parity)
+		}
+		if c.Data != 1 {
+			return fmt.Errorf("raid: RAID1 mirrors a single data disk, got %d", c.Data)
+		}
+	case RAID5:
+		if c.Parity != 1 {
+			return fmt.Errorf("raid: RAID5 has exactly one parity disk, got %d", c.Parity)
+		}
+		if c.Data < 2 {
+			return fmt.Errorf("raid: RAID5 needs at least two data disks, got %d", c.Data)
+		}
+	case RAID6:
+		if c.Parity != 2 {
+			return fmt.Errorf("raid: RAID6 has exactly two parity disks, got %d", c.Parity)
+		}
+		if c.Data < 2 {
+			return fmt.Errorf("raid: RAID6 needs at least two data disks, got %d", c.Data)
+		}
+	case RAID10:
+		if c.Data < 2 {
+			return fmt.Errorf("raid: RAID10 needs at least two data disks, got %d", c.Data)
+		}
+		if c.Parity != c.Data {
+			return fmt.Errorf("raid: RAID10 mirrors each data disk, want parity %d, got %d", c.Data, c.Parity)
+		}
+	default:
+		return fmt.Errorf("raid: unknown level %v", c.Level)
+	}
+	return nil
+}
+
+// Disks returns the total physical disk count of one array.
+func (c Config) Disks() int { return c.Data + c.Parity }
+
+// UsableDisks returns the logical capacity in disk units.
+func (c Config) UsableDisks() int { return c.Data }
+
+// ERF returns the Effective Replication Factor: physical size divided
+// by usable size.
+func (c Config) ERF() float64 { return float64(c.Disks()) / float64(c.Data) }
+
+// FaultTolerance returns how many simultaneous disk losses the array
+// survives.
+func (c Config) FaultTolerance() int {
+	switch c.Level {
+	case RAID0:
+		return 0
+	case RAID1:
+		return c.Parity // n-way mirror survives n-1 losses
+	case RAID5:
+		return 1
+	case RAID6:
+		return 2
+	case RAID10:
+		return 1 // worst case: both members of one mirror pair
+	default:
+		return 0
+	}
+}
+
+// String renders the "(data+parity)" notation used in the paper.
+func (c Config) String() string {
+	return fmt.Sprintf("%s(%d+%d)", c.Level, c.Data, c.Parity)
+}
+
+// Fleet is a set of identical arrays provisioned to reach a usable
+// capacity target; availability-wise the arrays are in series (any
+// array down makes some user data unavailable).
+type Fleet struct {
+	Array  Config
+	Count  int
+	Usable int // usable capacity in disk units
+}
+
+// PlanFleet returns the smallest fleet of identical arrays whose usable
+// capacity reaches at least usableDisks.
+func PlanFleet(c Config, usableDisks int) (Fleet, error) {
+	if err := c.Validate(); err != nil {
+		return Fleet{}, err
+	}
+	if usableDisks < 1 {
+		return Fleet{}, fmt.Errorf("raid: usable capacity %d must be positive", usableDisks)
+	}
+	count := (usableDisks + c.Data - 1) / c.Data
+	return Fleet{Array: c, Count: count, Usable: usableDisks}, nil
+}
+
+// TotalDisks returns the physical disk count of the fleet.
+func (f Fleet) TotalDisks() int { return f.Count * f.Array.Disks() }
+
+// EffectiveERF returns the fleet-level physical/usable ratio, which can
+// exceed the array ERF when the capacity target is not a multiple of
+// the array's usable size.
+func (f Fleet) EffectiveERF() float64 {
+	return float64(f.TotalDisks()) / float64(f.Usable)
+}
+
+// EquivalentCapacity returns the least usable capacity (in disk units)
+// that every supplied geometry divides evenly — the fair comparison
+// point the paper's Fig. 6 uses (fleets of R1(1+1), R5(3+1), R5(7+1)
+// at equal usable capacity).
+func EquivalentCapacity(configs ...Config) (int, error) {
+	if len(configs) == 0 {
+		return 0, fmt.Errorf("raid: no configurations supplied")
+	}
+	l := 1
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			return 0, err
+		}
+		l = lcm(l, c.Data)
+	}
+	return l, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

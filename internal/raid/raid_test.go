@@ -1,0 +1,226 @@
+package raid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperConfigsERF(t *testing.T) {
+	// The paper quotes ERF 2, 1.33 and 1.14 for these geometries.
+	cases := []struct {
+		c    Config
+		erf  float64
+		name string
+	}{
+		{R1Mirror, 2.0, "RAID1(1+1)"},
+		{R5Small, 4.0 / 3, "RAID5(3+1)"},
+		{R5Wide, 8.0 / 7, "RAID5(7+1)"},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", tc.name, err)
+		}
+		if math.Abs(tc.c.ERF()-tc.erf) > 1e-12 {
+			t.Errorf("%s ERF = %v, want %v", tc.name, tc.c.ERF(), tc.erf)
+		}
+		if tc.c.String() != tc.name {
+			t.Errorf("String() = %q, want %q", tc.c.String(), tc.name)
+		}
+	}
+}
+
+func TestDiskCounts(t *testing.T) {
+	if R5Small.Disks() != 4 || R5Small.UsableDisks() != 3 {
+		t.Error("RAID5(3+1) counts wrong")
+	}
+	if R5Wide.Disks() != 8 || R1Mirror.Disks() != 2 {
+		t.Error("disk totals wrong")
+	}
+}
+
+func TestFaultTolerance(t *testing.T) {
+	cases := []struct {
+		c    Config
+		want int
+	}{
+		{Config{RAID0, 4, 0}, 0},
+		{R1Mirror, 1},
+		{Config{RAID1, 1, 2}, 2}, // three-way mirror
+		{R5Small, 1},
+		{Config{RAID6, 6, 2}, 2},
+		{Config{RAID10, 4, 4}, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.c.FaultTolerance(); got != tc.want {
+			t.Errorf("%v fault tolerance = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	bad := []Config{
+		{RAID0, 2, 1},    // parity on RAID0
+		{RAID1, 2, 1},    // RAID1 with two data disks
+		{RAID1, 1, 0},    // no mirror
+		{RAID5, 3, 2},    // RAID5 with two parity
+		{RAID5, 1, 1},    // too narrow
+		{RAID6, 4, 1},    // RAID6 with one parity
+		{RAID10, 3, 2},   // unbalanced mirror set
+		{RAID5, 0, 1},    // no data
+		{Level(9), 1, 0}, // unknown level
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v passed validation", c)
+		}
+	}
+}
+
+func TestNewConstructor(t *testing.T) {
+	c, err := New(RAID5, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != R5Wide {
+		t.Errorf("New = %v", c)
+	}
+	if _, err := New(RAID5, 1, 1); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func TestPlanFleetExact(t *testing.T) {
+	f, err := PlanFleet(R5Small, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Count != 7 {
+		t.Fatalf("count = %d, want 7", f.Count)
+	}
+	if f.TotalDisks() != 28 {
+		t.Fatalf("total disks = %d, want 28", f.TotalDisks())
+	}
+	if math.Abs(f.EffectiveERF()-4.0/3) > 1e-12 {
+		t.Fatalf("fleet ERF = %v", f.EffectiveERF())
+	}
+}
+
+func TestPlanFleetRoundsUp(t *testing.T) {
+	f, err := PlanFleet(R5Wide, 20) // 20/7 -> 3 arrays
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Count != 3 {
+		t.Fatalf("count = %d, want 3", f.Count)
+	}
+	if f.EffectiveERF() <= f.Array.ERF() {
+		t.Error("rounded fleet should have ERF above array ERF")
+	}
+}
+
+func TestPlanFleetErrors(t *testing.T) {
+	if _, err := PlanFleet(Config{RAID5, 1, 1}, 10); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := PlanFleet(R5Small, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestEquivalentCapacityPaperTriple(t *testing.T) {
+	// lcm(1, 3, 7) = 21 usable disks: 21 mirrors (42 disks),
+	// 7x R5(3+1) (28 disks), 3x R5(7+1) (24 disks).
+	cap21, err := EquivalentCapacity(R1Mirror, R5Small, R5Wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap21 != 21 {
+		t.Fatalf("equivalent capacity = %d, want 21", cap21)
+	}
+	counts := map[string]int{}
+	disks := map[string]int{}
+	for _, c := range []Config{R1Mirror, R5Small, R5Wide} {
+		f, err := PlanFleet(c, cap21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[c.String()] = f.Count
+		disks[c.String()] = f.TotalDisks()
+	}
+	if counts["RAID1(1+1)"] != 21 || counts["RAID5(3+1)"] != 7 || counts["RAID5(7+1)"] != 3 {
+		t.Fatalf("fleet counts = %v", counts)
+	}
+	if disks["RAID1(1+1)"] != 42 || disks["RAID5(3+1)"] != 28 || disks["RAID5(7+1)"] != 24 {
+		t.Fatalf("fleet disks = %v", disks)
+	}
+}
+
+func TestEquivalentCapacityErrors(t *testing.T) {
+	if _, err := EquivalentCapacity(); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := EquivalentCapacity(Config{RAID5, 1, 1}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	names := map[Level]string{
+		RAID0: "RAID0", RAID1: "RAID1", RAID5: "RAID5", RAID6: "RAID6", RAID10: "RAID10",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("Level %d String = %q", int(l), l.String())
+		}
+	}
+	if Level(42).String() == "" {
+		t.Error("unknown level should render")
+	}
+}
+
+func TestQuickERFAtLeastOne(t *testing.T) {
+	f := func(dataRaw, parityRaw uint8) bool {
+		data := 2 + int(dataRaw%16)
+		c := Config{Level: RAID5, Data: data, Parity: 1}
+		return c.ERF() > 1 && c.ERF() <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFleetMeetsCapacity(t *testing.T) {
+	f := func(capRaw uint8) bool {
+		usable := 1 + int(capRaw)
+		for _, c := range []Config{R1Mirror, R5Small, R5Wide} {
+			fl, err := PlanFleet(c, usable)
+			if err != nil {
+				return false
+			}
+			if fl.Count*c.Data < usable {
+				return false
+			}
+			// Minimality: one fewer array must not suffice.
+			if (fl.Count-1)*c.Data >= usable {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if gcd(12, 18) != 6 {
+		t.Error("gcd wrong")
+	}
+	if lcm(4, 6) != 12 {
+		t.Error("lcm wrong")
+	}
+	if lcm(1, 7) != 7 {
+		t.Error("lcm identity wrong")
+	}
+}

@@ -1,0 +1,78 @@
+// Package sensitivity ranks the availability models' parameters by
+// how much they move the result — the "what should I fix first"
+// analysis the paper's conclusion points designers and administrators
+// toward. It computes log-log elasticities by central finite
+// differences:
+//
+//	E_p = d ln(unavailability) / d ln(p)
+//
+// so E = +1 means a 1% increase in the parameter raises unavailability
+// by 1%; negative elasticities mark parameters worth investing in
+// (faster repairs, better checklists).
+package sensitivity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Elasticity is one parameter's ranked influence.
+type Elasticity struct {
+	// Parameter names the knob.
+	Parameter string
+	// Value is the evaluation point.
+	Value float64
+	// Elasticity is d ln(U) / d ln(p) at the evaluation point.
+	Elasticity float64
+}
+
+// Parameter is a named knob with an accessor pair over a model
+// configuration of type T.
+type Parameter[T any] struct {
+	Name string
+	Get  func(T) float64
+	Set  func(T, float64) T
+}
+
+// Analyze computes the unavailability elasticity of every parameter by
+// central differences with relative step h (e.g. 0.01). The eval
+// function maps a configuration to an unavailability in (0, 1).
+// Parameters whose value is zero are skipped (log-derivative
+// undefined); the result is sorted by descending |elasticity|.
+func Analyze[T any](cfg T, params []Parameter[T], h float64, eval func(T) (float64, error)) ([]Elasticity, error) {
+	if h <= 0 || h >= 1 {
+		return nil, fmt.Errorf("sensitivity: relative step %v outside (0,1)", h)
+	}
+	base, err := eval(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if base <= 0 || base >= 1 {
+		return nil, fmt.Errorf("sensitivity: base unavailability %v outside (0,1)", base)
+	}
+	var out []Elasticity
+	for _, p := range params {
+		v := p.Get(cfg)
+		if v == 0 {
+			continue
+		}
+		up, err := eval(p.Set(cfg, v*(1+h)))
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %s+: %w", p.Name, err)
+		}
+		down, err := eval(p.Set(cfg, v*(1-h)))
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %s-: %w", p.Name, err)
+		}
+		if up <= 0 || down <= 0 {
+			continue
+		}
+		e := (math.Log(up) - math.Log(down)) / (math.Log(1+h) - math.Log(1-h))
+		out = append(out, Elasticity{Parameter: p.Name, Value: v, Elasticity: e})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return math.Abs(out[i].Elasticity) > math.Abs(out[j].Elasticity)
+	})
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package sensitivity
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"herald/internal/model"
+)
+
+// knownSystem: U = a * b^2 has elasticities exactly (1, 2).
+type knownSystem struct{ a, b float64 }
+
+func knownParams() []Parameter[knownSystem] {
+	return []Parameter[knownSystem]{
+		{Name: "a", Get: func(s knownSystem) float64 { return s.a },
+			Set: func(s knownSystem, v float64) knownSystem { s.a = v; return s }},
+		{Name: "b", Get: func(s knownSystem) float64 { return s.b },
+			Set: func(s knownSystem, v float64) knownSystem { s.b = v; return s }},
+	}
+}
+
+func TestAnalyzeClosedFormElasticities(t *testing.T) {
+	cfg := knownSystem{a: 1e-3, b: 0.1}
+	out, err := Analyze(cfg, knownParams(), 0.01, func(s knownSystem) (float64, error) {
+		return s.a * s.b * s.b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d elasticities", len(out))
+	}
+	// Sorted by magnitude: b (2) before a (1).
+	if out[0].Parameter != "b" || math.Abs(out[0].Elasticity-2) > 1e-6 {
+		t.Fatalf("b elasticity = %+v", out[0])
+	}
+	if out[1].Parameter != "a" || math.Abs(out[1].Elasticity-1) > 1e-6 {
+		t.Fatalf("a elasticity = %+v", out[1])
+	}
+}
+
+func TestAnalyzeSkipsZeroParameters(t *testing.T) {
+	cfg := knownSystem{a: 0, b: 0.1}
+	out, err := Analyze(cfg, knownParams(), 0.01, func(s knownSystem) (float64, error) {
+		return 0.5 * s.b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out {
+		if e.Parameter == "a" {
+			t.Fatal("zero-valued parameter not skipped")
+		}
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	cfg := knownSystem{a: 1e-3, b: 0.1}
+	eval := func(s knownSystem) (float64, error) { return s.a, nil }
+	if _, err := Analyze(cfg, knownParams(), 0, eval); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := Analyze(cfg, knownParams(), 1.5, eval); err == nil {
+		t.Fatal("huge step accepted")
+	}
+	if _, err := Analyze(cfg, knownParams(), 0.01, func(knownSystem) (float64, error) {
+		return 2, nil // not an unavailability
+	}); err == nil {
+		t.Fatal("out-of-range base accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := Analyze(cfg, knownParams(), 0.01, func(knownSystem) (float64, error) {
+		return 0, boom
+	}); err == nil {
+		t.Fatal("eval error swallowed")
+	}
+}
+
+// modelParams adapts the paper's conventional model for analysis.
+func modelParams() []Parameter[model.Params] {
+	return []Parameter[model.Params]{
+		{Name: "lambda", Get: func(p model.Params) float64 { return p.Lambda },
+			Set: func(p model.Params, v float64) model.Params { p.Lambda = v; return p }},
+		{Name: "hep", Get: func(p model.Params) float64 { return p.HEP },
+			Set: func(p model.Params, v float64) model.Params { p.HEP = v; return p }},
+		{Name: "muDF", Get: func(p model.Params) float64 { return p.MuDF },
+			Set: func(p model.Params, v float64) model.Params { p.MuDF = v; return p }},
+		{Name: "muDDF", Get: func(p model.Params) float64 { return p.MuDDF },
+			Set: func(p model.Params, v float64) model.Params { p.MuDDF = v; return p }},
+		{Name: "muHE", Get: func(p model.Params) float64 { return p.MuHE },
+			Set: func(p model.Params, v float64) model.Params { p.MuHE = v; return p }},
+	}
+}
+
+func evalModel(p model.Params) (float64, error) {
+	res, err := model.Conventional(p)
+	if err != nil {
+		return 0, err
+	}
+	return res.Unavailability(), nil
+}
+
+func TestPaperModelElasticities(t *testing.T) {
+	out, err := Analyze(model.Paper(4, 1e-6, 0.01), modelParams(), 0.01, evalModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, e := range out {
+		byName[e.Parameter] = e.Elasticity
+	}
+	// In the human-error-dominated regime: unavailability scales ~1:1
+	// with lambda and hep, and improving muDDF (which governs the DU
+	// resync) helps nearly 1:1.
+	if e := byName["lambda"]; math.Abs(e-1) > 0.1 {
+		t.Errorf("lambda elasticity = %v, want ~1", e)
+	}
+	if e := byName["hep"]; math.Abs(e-1) > 0.1 {
+		t.Errorf("hep elasticity = %v, want ~1", e)
+	}
+	if e := byName["muDDF"]; e > -0.85 {
+		t.Errorf("muDDF elasticity = %v, want strongly negative", e)
+	}
+	if e := byName["muHE"]; e > 0 {
+		t.Errorf("muHE elasticity = %v, want <= 0", e)
+	}
+}
+
+func TestElasticityIdentifiesHumanErrorRegimeShift(t *testing.T) {
+	// At hep = 0 the muHE knob is inert, and lambda's elasticity is ~2
+	// (double-failure dominated).
+	out, err := Analyze(model.Paper(4, 1e-6, 1e-9), modelParams(), 0.01, evalModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out {
+		if e.Parameter == "lambda" {
+			if math.Abs(e.Elasticity-2) > 0.1 {
+				t.Errorf("failure-dominated lambda elasticity = %v, want ~2", e.Elasticity)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math"
+
+	"herald/internal/xrand"
+)
+
+// foPhase enumerates the automatic fail-over state machine phases,
+// mirroring the paper's Fig. 3 states (the with-spare unavailable
+// variants DU1/DU2/EXP2 arise there only through service branches the
+// simulator's single-technician discipline does not take; see
+// DESIGN.md §3.2).
+type foPhase int
+
+const (
+	phOP     foPhase = iota // n members up, hot spare present
+	phEXP1                  // 1 failed, on-line rebuild onto spare
+	phOPns                  // n members up, spare slot empty
+	phEXPns1                // 1 failed, no spare
+	phEXPns2                // healthy member wrongly pulled, no spare (up, degraded)
+	phDUns1                 // 1 failed + 1 pulled: unavailable
+	phDUns2                 // 2 pulled: unavailable
+)
+
+// simulateFailover walks one array lifetime under the automatic
+// fail-over (delayed replacement) policy: the hot spare absorbs a
+// failure with no human involvement; the technician only touches the
+// array to replenish the spare (OPns) or when no spare is left
+// (EXPns1), which is where human error opportunities live.
+func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStats {
+	n := p.Disks
+	fail := make([]float64, n)
+	for i := range fail {
+		fail[i] = p.TTF.Sample(r)
+	}
+	var st iterStats
+	t := 0.0
+	phase := phOP
+	fi := noDisk // failed member slot
+	pi := noDisk // wrongly pulled member slot
+	pi2 := noDisk
+
+	for t < mission {
+		switch phase {
+		case phOP:
+			idx, tFail := nextFailure(fail, t, noDisk, noDisk)
+			if tFail >= mission {
+				return st
+			}
+			st.events.Failures++
+			fi, t, phase = idx, tFail, phEXP1
+
+		case phEXP1:
+			// On-line rebuild onto the hot spare; no human involved.
+			rebEnd := t + p.SpareRebuild.Sample(r)
+			si, tSecond := nextFailure(fail, t, fi, noDisk)
+			if math.Min(rebEnd, tSecond) >= mission {
+				return st // exposed but up
+			}
+			if tSecond < rebEnd {
+				st.events.Failures++
+				st.events.DoubleFailures++
+				t = dataLoss(p, r, &st, tSecond, mission, fail, fi, si)
+				// Restore rebuilds the full configuration, spare
+				// included (Fig. 3: DL --muDDF--> OP).
+				fi, phase = noDisk, phOP
+				continue
+			}
+			// Spare now carries the failed member's data.
+			fail[fi] = rebEnd + p.TTF.Sample(r)
+			fi, t, phase = noDisk, rebEnd, phOPns
+
+		case phOPns:
+			// Technician replenishes the spare slot; a wrong pull here
+			// hits a fully redundant array (degraded, still up).
+			swapEnd := t + p.SpareSwap.Sample(r)
+			idx, tFail := nextFailure(fail, t, noDisk, noDisk)
+			if math.Min(swapEnd, tFail) >= mission {
+				return st
+			}
+			if tFail < swapEnd {
+				st.events.Failures++
+				fi, t, phase = idx, tFail, phEXPns1
+				continue
+			}
+			t = swapEnd
+			if !r.Bernoulli(p.HEP) {
+				phase = phOP // spare slot replenished
+				continue
+			}
+			st.events.HumanErrors++
+			pi = pickOther(r, n, noDisk, noDisk)
+			phase = phEXPns2
+
+		case phEXPns1:
+			// Exposed with no spare: direct replace-and-rebuild
+			// service, racing a second member failure.
+			svcEnd := t + p.Repair.Sample(r)
+			si, tSecond := nextFailure(fail, t, fi, noDisk)
+			if math.Min(svcEnd, tSecond) >= mission {
+				return st
+			}
+			if tSecond < svcEnd {
+				st.events.Failures++
+				st.events.DoubleFailures++
+				t = dataLoss(p, r, &st, tSecond, mission, fail, fi, si)
+				fi, phase = noDisk, phOPns // DLns --muDDF--> OPns
+				continue
+			}
+			t = svcEnd
+			if !r.Bernoulli(p.HEP) {
+				fail[fi] = t + p.TTF.Sample(r)
+				fi, phase = noDisk, phOPns
+				continue
+			}
+			st.events.HumanErrors++
+			pi = pickOther(r, n, fi, noDisk)
+			phase = phDUns1
+
+		case phEXPns2:
+			// A healthy member is out; data still available (n-1 of n).
+			attemptEnd := t + p.HERecovery.Sample(r)
+			crashAt := t + expSample(r, p.CrashRate)
+			idx, tFail := nextFailure(fail, t, pi, noDisk)
+			next := math.Min(attemptEnd, math.Min(crashAt, tFail))
+			if next >= mission {
+				return st
+			}
+			switch next {
+			case tFail:
+				// Failure on top of the pull: unavailable.
+				st.events.Failures++
+				fi, t, phase = idx, tFail, phDUns1
+			case crashAt:
+				// Pulled disk died while out: it is now simply a
+				// failed member with no spare.
+				st.events.Crashes++
+				fail[pi] = crashAt // expired clock; treated as failed
+				fi, pi, t, phase = pi, noDisk, crashAt, phEXPns1
+			default:
+				st.events.UndoAttempts++
+				t = attemptEnd
+				if r.Bernoulli(p.HEP) {
+					// Second error pulls another healthy member.
+					st.events.HumanErrors++
+					pi2 = pickOther(r, n, pi, noDisk)
+					phase = phDUns2
+					continue
+				}
+				// Re-seat; the new disk becomes the hot spare
+				// (Fig. 3: EXPns2 --(1-hep)muHE--> OP).
+				pi, phase = noDisk, phOP
+			}
+
+		case phDUns1:
+			// One failed + one pulled: unavailable until undone.
+			duStart := t
+			cur := t
+			for phase == phDUns1 {
+				attemptEnd := cur + p.HERecovery.Sample(r)
+				crashAt := cur + expSample(r, p.CrashRate)
+				oi, tOther := nextFailure(fail, cur, fi, pi)
+				next := math.Min(attemptEnd, math.Min(crashAt, tOther))
+				if next >= mission {
+					st.downDU += mission - duStart
+					return st
+				}
+				switch next {
+				case tOther:
+					// Third member lost: catastrophic, restore all.
+					st.events.Failures++
+					st.events.DoubleFailures++
+					st.downDU += tOther - duStart
+					t = dataLoss(p, r, &st, tOther, mission, fail, fi, oi)
+					fail[pi] = t + p.TTF.Sample(r) // re-seated fresh by the restore service
+					fi, pi, phase = noDisk, noDisk, phOPns
+				case crashAt:
+					// Pulled disk crashed: double loss, restore.
+					st.events.Crashes++
+					st.downDU += crashAt - duStart
+					t = dataLoss(p, r, &st, crashAt, mission, fail, fi, pi)
+					fi, pi, phase = noDisk, noDisk, phOPns
+				default:
+					st.events.UndoAttempts++
+					if r.Bernoulli(p.HEP) {
+						st.events.HumanErrors++
+						cur = attemptEnd
+						continue
+					}
+					// Pulled disk re-seated; failed member remains.
+					st.downDU += attemptEnd - duStart
+					t, pi, phase = attemptEnd, noDisk, phEXPns1
+				}
+			}
+
+		case phDUns2:
+			// Two healthy members pulled (double human error).
+			duStart := t
+			cur := t
+			for phase == phDUns2 {
+				attemptEnd := cur + p.HERecovery.Sample(r)
+				crashAt := cur + expSample(r, 2*p.CrashRate)
+				oi, tOther := nextFailure(fail, cur, pi, pi2)
+				next := math.Min(attemptEnd, math.Min(crashAt, tOther))
+				if next >= mission {
+					st.downDU += mission - duStart
+					return st
+				}
+				switch next {
+				case tOther:
+					// Failure with two members out: catastrophic.
+					st.events.Failures++
+					st.events.DoubleFailures++
+					st.downDU += tOther - duStart
+					t = dataLoss(p, r, &st, tOther, mission, fail, oi, pi)
+					fail[pi2] = t + p.TTF.Sample(r)
+					fi, pi, pi2, phase = noDisk, noDisk, noDisk, phOPns
+				case crashAt:
+					// One of the two pulled disks crashed.
+					st.events.Crashes++
+					st.downDU += crashAt - duStart
+					fail[pi2] = crashAt
+					fi, pi2 = pi2, noDisk
+					t, phase = crashAt, phDUns1
+				default:
+					st.events.UndoAttempts++
+					if r.Bernoulli(p.HEP) {
+						st.events.HumanErrors++
+						cur = attemptEnd
+						continue
+					}
+					// One pull undone; still one member out (up again).
+					st.downDU += attemptEnd - duStart
+					t, pi2, phase = attemptEnd, noDisk, phEXPns2
+				}
+			}
+		}
+	}
+	return st
+}

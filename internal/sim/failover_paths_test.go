@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+
+	"herald/internal/dist"
+)
+
+// These tests force the simulator down the rare fail-over branches
+// (double human error, pulled-disk crashes, failures while down) using
+// extreme parameters, so the state machine's corner transitions are
+// exercised deterministically rather than only by statistical luck.
+
+// forceFailover builds a parameter set whose rates make the targeted
+// branch dominant.
+func forceFailover(lambda, hep, crash float64) ArrayParams {
+	return ArrayParams{
+		Disks:        4,
+		TTF:          dist.NewExponential(lambda),
+		Repair:       dist.NewExponential(0.5),
+		TapeRestore:  dist.NewExponential(0.5),
+		HERecovery:   dist.NewExponential(0.5),
+		HEP:          hep,
+		CrashRate:    crash,
+		Policy:       AutoFailover,
+		SpareRebuild: dist.NewExponential(0.5),
+		SpareSwap:    dist.NewExponential(0.5),
+	}
+}
+
+func TestFailoverDoubleHumanErrorPath(t *testing.T) {
+	// hep=0.9: almost every swap pulls a healthy disk and almost every
+	// undo pulls another => DUns2 is visited constantly.
+	p := forceFailover(1e-3, 0.9, 0.01)
+	s, err := Run(p, Options{Iterations: 300, MissionTime: 5e4, Seed: 21, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events.HumanErrors < 100 {
+		t.Fatalf("human errors = %d; branch not exercised", s.Events.HumanErrors)
+	}
+	if s.MeanDowntimeDU <= 0 {
+		t.Fatal("no DU downtime despite constant double errors")
+	}
+	if s.Availability < 0 || s.Availability > 1 {
+		t.Fatalf("availability = %v", s.Availability)
+	}
+}
+
+func TestFailoverCrashWhilePulledPath(t *testing.T) {
+	// Large crash rate: pulled disks die while out (EXPns2 -> EXPns1
+	// and DUns1 -> DLns transitions).
+	p := forceFailover(1e-3, 0.5, 5)
+	s, err := Run(p, Options{Iterations: 300, MissionTime: 5e4, Seed: 22, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events.Crashes == 0 {
+		t.Fatal("no pulled-disk crashes despite crash rate 5/h")
+	}
+	if s.MeanDowntimeDL <= 0 {
+		t.Fatal("crashes should produce data-loss downtime")
+	}
+}
+
+func TestFailoverFailureWhileDownPath(t *testing.T) {
+	// Very hot disks: further failures strike while the array is
+	// already unavailable (DUns1/DUns2 -> catastrophic restore).
+	p := forceFailover(2e-2, 0.9, 0.001)
+	p.HERecovery = dist.NewExponential(0.01) // long DU windows
+	s, err := Run(p, Options{Iterations: 200, MissionTime: 2e4, Seed: 23, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events.DoubleFailures == 0 {
+		t.Fatal("no catastrophic losses despite hot disks and long DU windows")
+	}
+	total := s.MeanDowntimeDU + s.MeanDowntimeDL
+	if total <= 0 || total > 2e4 {
+		t.Fatalf("downtime %v outside (0, mission]", total)
+	}
+}
+
+func TestFailoverHEPOneNeverRecoversSpare(t *testing.T) {
+	// At hep=1 every swap and every undo errs: the array cycles
+	// through pulled states and crash-induced losses but must remain
+	// well-defined.
+	p := forceFailover(1e-3, 1, 0.2)
+	s, err := Run(p, Options{Iterations: 200, MissionTime: 2e4, Seed: 24, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Availability < 0 || s.Availability >= 1 {
+		t.Fatalf("availability = %v", s.Availability)
+	}
+	if s.Events.UndoAttempts == 0 {
+		t.Fatal("no undo attempts recorded")
+	}
+}
+
+func TestFailoverDeterministicServices(t *testing.T) {
+	// Deterministic service laws exercise exact ties between service
+	// completion and the mission horizon.
+	p := forceFailover(1e-4, 0.1, 0.01)
+	p.SpareRebuild = dist.NewDeterministic(10)
+	p.SpareSwap = dist.NewDeterministic(2)
+	p.Repair = dist.NewDeterministic(10)
+	p.HERecovery = dist.NewDeterministic(1)
+	p.TapeRestore = dist.NewDeterministic(33)
+	s, err := Run(p, Options{Iterations: 500, MissionTime: 1e5, Seed: 25, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Availability <= 0 || s.Availability > 1 {
+		t.Fatalf("availability = %v", s.Availability)
+	}
+	if s.Events.Failures == 0 {
+		t.Fatal("no failures")
+	}
+}
+
+func TestConventionalDeterministicServices(t *testing.T) {
+	p := PaperDefaults(4, 1e-4, 0.1)
+	p.Repair = dist.NewDeterministic(10)
+	p.HERecovery = dist.NewDeterministic(1)
+	p.TapeRestore = dist.NewDeterministic(33)
+	s, err := Run(p, Options{Iterations: 500, MissionTime: 1e5, Seed: 26, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Availability <= 0 || s.Availability > 1 {
+		t.Fatalf("availability = %v", s.Availability)
+	}
+	if s.Events.HumanErrors == 0 {
+		t.Fatal("no human errors at hep=0.1")
+	}
+}
+
+func TestRAID1FailoverSmallestArray(t *testing.T) {
+	// n=2 with fail-over: pickOther must always find the single
+	// remaining disk and the state machine must not dead-end.
+	p := forceFailover(1e-3, 0.5, 0.1)
+	p.Disks = 2
+	s, err := Run(p, Options{Iterations: 300, MissionTime: 2e4, Seed: 27, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Availability < 0 || s.Availability > 1 {
+		t.Fatalf("availability = %v", s.Availability)
+	}
+}

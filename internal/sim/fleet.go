@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+
+	"herald/internal/stats"
+)
+
+// FleetSummary is the availability of count identical arrays composed
+// in series (user data spans all arrays), derived from a single-array
+// Monte-Carlo run.
+type FleetSummary struct {
+	// Array is the underlying single-array estimate.
+	Array Summary
+	// Count is the number of arrays in series.
+	Count int
+	// Availability is Array.Availability^Count.
+	Availability float64
+	// HalfWidth is the delta-method confidence half-width:
+	// count * A^(count-1) * arrayHalfWidth.
+	HalfWidth float64
+	// Nines is the fleet availability in nines.
+	Nines float64
+}
+
+// RunFleet estimates the availability of a series fleet of identical,
+// independent arrays. Because the arrays are i.i.d., one array is
+// simulated and the fleet availability follows as A^count, with the
+// confidence interval propagated by the delta method.
+func RunFleet(p ArrayParams, count int, o Options) (FleetSummary, error) {
+	if count < 1 {
+		return FleetSummary{}, fmt.Errorf("sim: fleet count %d must be positive", count)
+	}
+	s, err := Run(p, o)
+	if err != nil {
+		return FleetSummary{}, err
+	}
+	fleetAvail := pow(s.Availability, count)
+	hw := float64(count) * pow(s.Availability, count-1) * s.HalfWidth
+	return FleetSummary{
+		Array:        s,
+		Count:        count,
+		Availability: fleetAvail,
+		HalfWidth:    hw,
+		Nines:        stats.Nines(fleetAvail),
+	}, nil
+}
+
+// pow computes a^n for small integer n without math.Pow rounding
+// surprises near 1.
+func pow(a float64, n int) float64 {
+	out := 1.0
+	base := a
+	for n > 0 {
+		if n&1 == 1 {
+			out *= base
+		}
+		base *= base
+		n >>= 1
+	}
+	return out
+}

@@ -1,0 +1,414 @@
+// Package sim implements the paper's Monte-Carlo reference model
+// (§III): an event-driven simulation of a backed-up RAID array under
+// disk failures, repair services, wrong-disk-replacement human errors,
+// crashes of wrongly removed disks, and tape restores after data loss.
+//
+// Two replacement policies are modelled:
+//
+//   - Conventional: a technician replaces the failed disk while the
+//     array is exposed; every service carries a human error
+//     opportunity (paper Fig. 2's state structure).
+//   - AutoFailover: a hot spare absorbs the failure via on-line
+//     rebuild, and the human only touches the array afterwards
+//     (delayed replacement, paper Fig. 3's state structure).
+//
+// Unlike the Markov models, the simulator accepts arbitrary
+// time-to-failure and service-time distributions (the paper runs it
+// with exponential and Weibull laws) and also tracks second-order
+// events the CTMCs neglect, such as a further disk failure while the
+// array is already unavailable.
+//
+// Availability is uptime divided by mission time, averaged over
+// iterations, with a Student-t confidence interval (the paper reports
+// 99% confidence over 1e6 iterations).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"herald/internal/dist"
+	"herald/internal/stats"
+	"herald/internal/xrand"
+)
+
+// Policy selects the disk replacement discipline.
+type Policy int
+
+const (
+	// Conventional replaces the failed disk while the array is
+	// exposed (no hot spare).
+	Conventional Policy = iota
+	// AutoFailover rebuilds onto a hot spare first and delays the
+	// physical replacement until the array is redundant again.
+	AutoFailover
+	// DualParity is conventional replacement on an array that
+	// tolerates two concurrent member losses (RAID6-style), mirroring
+	// model.DualParityChain.
+	DualParity
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Conventional:
+		return "conventional"
+	case AutoFailover:
+		return "auto-failover"
+	case DualParity:
+		return "dual-parity"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ArrayParams describes one RAID array for simulation. All durations
+// are hours, all rates per hour.
+type ArrayParams struct {
+	// Disks is the total member count n (e.g. 4 for RAID5 3+1,
+	// 2 for RAID1 1+1). The array survives any single member loss and
+	// dies on a second concurrent loss.
+	Disks int
+	// TTF is the per-disk time-to-failure law (fresh disk).
+	TTF dist.Distribution
+	// Repair is the conventional replace-and-rebuild service time
+	// (mean 1/muDF). Under AutoFailover it is the replacement service
+	// performed in the no-spare exposed state.
+	Repair dist.Distribution
+	// TapeRestore is the data-loss recovery time from backup
+	// (mean 1/muDDF).
+	TapeRestore dist.Distribution
+	// HERecovery is the duration of one attempt to undo a wrong
+	// replacement (mean 1/muHE).
+	HERecovery dist.Distribution
+	// HEP is the per-service human error probability.
+	HEP float64
+	// CrashRate is the rate at which a wrongly removed (healthy) disk
+	// crashes while out of the array (lambdaCrash).
+	CrashRate float64
+	// ResyncAfterUndo, when true, follows every successful undo of a
+	// wrong replacement with a consistency restore from backup (a
+	// TapeRestore-distributed outage), matching the paper's Fig. 1
+	// walk-through in which each DU interval ends with a tape
+	// recovery. See model.Params.ResyncAfterUndo for the calibration
+	// argument. Conventional policy only.
+	ResyncAfterUndo bool
+	// Policy selects conventional replacement or automatic fail-over.
+	Policy Policy
+	// SpareRebuild is the on-line rebuild-to-hot-spare time
+	// (mean 1/muS). AutoFailover only.
+	SpareRebuild dist.Distribution
+	// SpareSwap is the service time for replenishing the spare slot
+	// (mean 1/muCH). AutoFailover only.
+	SpareSwap dist.Distribution
+}
+
+// Validate checks the parameter set is complete for its policy.
+func (p *ArrayParams) Validate() error {
+	if p.Disks < 2 {
+		return fmt.Errorf("sim: array needs at least 2 disks, got %d", p.Disks)
+	}
+	if p.TTF == nil || p.Repair == nil || p.TapeRestore == nil {
+		return errors.New("sim: TTF, Repair and TapeRestore distributions are required")
+	}
+	if p.HEP < 0 || p.HEP > 1 {
+		return fmt.Errorf("sim: HEP %v outside [0,1]", p.HEP)
+	}
+	if p.HEP > 0 && p.HERecovery == nil {
+		return errors.New("sim: HERecovery distribution required when HEP > 0")
+	}
+	if p.CrashRate < 0 {
+		return fmt.Errorf("sim: negative crash rate %v", p.CrashRate)
+	}
+	if p.Policy == AutoFailover && (p.SpareRebuild == nil || p.SpareSwap == nil) {
+		return errors.New("sim: AutoFailover requires SpareRebuild and SpareSwap distributions")
+	}
+	if p.Policy == DualParity && p.Disks < 4 {
+		return fmt.Errorf("sim: dual parity needs at least 4 disks, got %d", p.Disks)
+	}
+	if p.Policy != Conventional && p.Policy != AutoFailover && p.Policy != DualParity {
+		return fmt.Errorf("sim: unknown policy %d", int(p.Policy))
+	}
+	return nil
+}
+
+// PaperDefaults returns the rate constants the paper's experiments use
+// (§V-B): muDF = 0.1/h, muDDF = 0.03/h, muHE = 1/h, lambdaCrash =
+// 0.01/h, a 10-hour mean on-line rebuild (muS = 0.1) and a quick
+// spare swap (muCH = 1), exponential everything, for an n-disk array
+// with per-disk failure rate lambda and human error probability hep.
+// The post-undo resync is enabled (see ArrayParams.ResyncAfterUndo).
+func PaperDefaults(n int, lambda, hep float64) ArrayParams {
+	return ArrayParams{
+		Disks:           n,
+		TTF:             dist.NewExponential(lambda),
+		Repair:          dist.NewExponential(0.1),
+		TapeRestore:     dist.NewExponential(0.03),
+		HERecovery:      dist.NewExponential(1),
+		HEP:             hep,
+		CrashRate:       0.01,
+		ResyncAfterUndo: true,
+		Policy:          Conventional,
+		SpareRebuild:    dist.NewExponential(0.1),
+		SpareSwap:       dist.NewExponential(1),
+	}
+}
+
+// Options controls a Monte-Carlo run.
+type Options struct {
+	// Iterations is the number of independent array lifetimes.
+	Iterations int
+	// MissionTime is the simulated horizon per iteration (hours).
+	MissionTime float64
+	// Seed drives the reproducible RNG; each iteration uses an
+	// independent stream derived from it.
+	Seed uint64
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Confidence is the CI level for the availability estimate
+	// (default 0.99, the paper's choice).
+	Confidence float64
+	// HistogramBins, when positive, collects a histogram of
+	// per-iteration total downtime hours over
+	// [0, HistogramMaxHours) into Summary.DowntimeHistogram.
+	HistogramBins int
+	// HistogramMaxHours is the histogram's upper edge (default: 1% of
+	// the mission time).
+	HistogramMaxHours float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.Confidence == 0 {
+		out.Confidence = 0.99
+	}
+	return out
+}
+
+// Validate checks the options.
+func (o *Options) Validate() error {
+	if o.Iterations < 1 {
+		return fmt.Errorf("sim: iterations %d must be positive", o.Iterations)
+	}
+	if o.MissionTime <= 0 || math.IsNaN(o.MissionTime) || math.IsInf(o.MissionTime, 0) {
+		return fmt.Errorf("sim: mission time %v must be positive and finite", o.MissionTime)
+	}
+	if o.Confidence < 0 || o.Confidence >= 1 {
+		return fmt.Errorf("sim: confidence %v outside [0,1)", o.Confidence)
+	}
+	return nil
+}
+
+// EventCounts aggregates how often each incident type occurred across
+// all iterations.
+type EventCounts struct {
+	Failures       int64 // individual disk failures
+	DoubleFailures int64 // data-loss events (second concurrent loss)
+	HumanErrors    int64 // wrong replacements (incl. failed undo attempts)
+	Crashes        int64 // wrongly removed disks that crashed while out
+	UndoAttempts   int64 // human-error recovery attempts
+}
+
+func (e *EventCounts) add(o EventCounts) {
+	e.Failures += o.Failures
+	e.DoubleFailures += o.DoubleFailures
+	e.HumanErrors += o.HumanErrors
+	e.Crashes += o.Crashes
+	e.UndoAttempts += o.UndoAttempts
+}
+
+// Summary is the result of a Monte-Carlo run.
+type Summary struct {
+	// Availability is the mean fraction of mission time the array was
+	// up.
+	Availability float64
+	// HalfWidth is the Student-t confidence half-width of
+	// Availability at the requested confidence level.
+	HalfWidth float64
+	// Nines is -log10(1 - Availability).
+	Nines float64
+	// MeanDowntimeDU / MeanDowntimeDL are mean hours per iteration
+	// spent unavailable due to human error (DU) and data loss (DL).
+	MeanDowntimeDU float64
+	MeanDowntimeDL float64
+	// Iterations and MissionTime echo the run configuration.
+	Iterations  int
+	MissionTime float64
+	// Confidence echoes the CI level.
+	Confidence float64
+	// Events aggregates incident counts.
+	Events EventCounts
+	// DowntimeHistogram is the per-iteration total-downtime histogram
+	// when Options.HistogramBins was set; nil otherwise.
+	DowntimeHistogram *stats.Histogram
+}
+
+// Interval returns the availability confidence interval.
+func (s Summary) Interval() stats.Interval {
+	return stats.Interval{Lo: s.Availability - s.HalfWidth, Hi: s.Availability + s.HalfWidth}
+}
+
+// Unavailability returns 1 - Availability.
+func (s Summary) Unavailability() float64 { return stats.Unavailability(s.Availability) }
+
+// iterStats is the outcome of one simulated lifetime.
+type iterStats struct {
+	downDU, downDL float64
+	events         EventCounts
+}
+
+// Run executes the Monte-Carlo experiment and returns its summary.
+func Run(p ArrayParams, o Options) (Summary, error) {
+	if err := p.Validate(); err != nil {
+		return Summary{}, err
+	}
+	if err := o.Validate(); err != nil {
+		return Summary{}, err
+	}
+	opts := o.withDefaults()
+	workers := opts.Workers
+	if workers > opts.Iterations {
+		workers = opts.Iterations
+	}
+
+	histMax := opts.HistogramMaxHours
+	if opts.HistogramBins > 0 && histMax <= 0 {
+		histMax = opts.MissionTime / 100
+	}
+
+	type batch struct {
+		acc    stats.Accumulator
+		du, dl stats.Accumulator
+		events EventCounts
+		hist   *stats.Histogram
+	}
+	results := make([]batch, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := xrand.NewStream(opts.Seed, uint64(w))
+			b := &results[w]
+			if opts.HistogramBins > 0 {
+				b.hist = stats.NewHistogram(0, histMax, opts.HistogramBins)
+			}
+			for it := w; it < opts.Iterations; it += workers {
+				var is iterStats
+				switch p.Policy {
+				case AutoFailover:
+					is = simulateFailover(&p, r, opts.MissionTime)
+				case DualParity:
+					is = simulateDualParity(&p, r, opts.MissionTime)
+				default:
+					is = simulateConventional(&p, r, opts.MissionTime)
+				}
+				down := is.downDU + is.downDL
+				b.acc.Add(1 - down/opts.MissionTime)
+				b.du.Add(is.downDU)
+				b.dl.Add(is.downDL)
+				b.events.add(is.events)
+				if b.hist != nil {
+					b.hist.Add(down)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var acc, du, dl stats.Accumulator
+	var events EventCounts
+	var hist *stats.Histogram
+	for i := range results {
+		acc.Merge(&results[i].acc)
+		du.Merge(&results[i].du)
+		dl.Merge(&results[i].dl)
+		events.add(results[i].events)
+		if results[i].hist != nil {
+			if hist == nil {
+				hist = results[i].hist
+			} else {
+				hist.Merge(results[i].hist)
+			}
+		}
+	}
+	avail := acc.Mean()
+	return Summary{
+		Availability:      avail,
+		HalfWidth:         acc.HalfWidth(opts.Confidence),
+		Nines:             stats.Nines(avail),
+		MeanDowntimeDU:    du.Mean(),
+		MeanDowntimeDL:    dl.Mean(),
+		Iterations:        opts.Iterations,
+		MissionTime:       opts.MissionTime,
+		Confidence:        opts.Confidence,
+		Events:            events,
+		DowntimeHistogram: hist,
+	}, nil
+}
+
+// ---------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------
+
+// expSample draws an exponential variate with the given rate; +Inf for
+// non-positive rates (the event never happens).
+func expSample(r *xrand.Source, rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return r.ExpFloat64() / rate
+}
+
+// nextFailure returns the index and clamped time of the earliest
+// failure clock, skipping excluded indices. Clocks earlier than now
+// fire at now (a disk re-seated after its latent expiry fails
+// immediately). Returns (-1, +Inf) when every disk is excluded.
+func nextFailure(fail []float64, now float64, ex1, ex2 int) (int, float64) {
+	idx, at := -1, math.Inf(1)
+	for i, f := range fail {
+		if i == ex1 || i == ex2 {
+			continue
+		}
+		if f < at {
+			idx, at = i, f
+		}
+	}
+	if idx >= 0 && at < now {
+		at = now
+	}
+	return idx, at
+}
+
+// pickOther returns a uniformly random index in [0, n) distinct from
+// the excluded ones. It panics when no candidate exists.
+func pickOther(r *xrand.Source, n, ex1, ex2 int) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		if i != ex1 && i != ex2 {
+			count++
+		}
+	}
+	if count == 0 {
+		panic("sim: no disk available to pick")
+	}
+	k := r.Intn(count)
+	for i := 0; i < n; i++ {
+		if i == ex1 || i == ex2 {
+			continue
+		}
+		if k == 0 {
+			return i
+		}
+		k--
+	}
+	panic("sim: unreachable")
+}
+
+const noDisk = -1

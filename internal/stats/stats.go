@@ -1,0 +1,469 @@
+// Package stats provides the statistical machinery the availability
+// study relies on: numerically stable moment accumulation, Student-t
+// confidence intervals for Monte-Carlo estimates (the paper reports
+// 99% confidence at 1e6 iterations), and availability metric
+// conversions ("number of nines", downtime per year).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator tracks count, mean and variance of a stream of
+// observations using Welford's online algorithm, which stays accurate
+// for the tiny unavailability magnitudes (1e-9) this study produces.
+// The zero value is ready to use.
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// Merge folds another accumulator into this one (Chan et al. parallel
+// variance update), used to combine per-worker Monte-Carlo batches.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	delta := b.mean - a.mean
+	total := a.n + b.n
+	a.mean += delta * float64(b.n) / float64(total)
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(total)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = total
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the running mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation; NaN when empty.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.min
+}
+
+// Max returns the largest observation; NaN when empty.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.max
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// ConfidenceInterval returns the symmetric Student-t confidence
+// interval of the mean at the given confidence level (e.g. 0.99). For
+// n < 2 the interval is degenerate at the mean.
+func (a *Accumulator) ConfidenceInterval(level float64) Interval {
+	if a.n < 2 {
+		return Interval{a.mean, a.mean}
+	}
+	h := a.HalfWidth(level)
+	return Interval{a.mean - h, a.mean + h}
+}
+
+// HalfWidth returns the Student-t confidence half-width at the given
+// level. As the paper notes (§III), the Monte-Carlo error is inversely
+// proportional to the square root of the iteration count times the
+// t coefficient for the target confidence.
+func (a *Accumulator) HalfWidth(level float64) float64 {
+	if a.n < 2 {
+		return 0
+	}
+	tcrit := StudentTQuantile(float64(a.n-1), 0.5+level/2)
+	return tcrit * a.StdErr()
+}
+
+// Interval is a closed interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%g, %g]", iv.Lo, iv.Hi) }
+
+// ---------------------------------------------------------------------
+// Student-t distribution
+// ---------------------------------------------------------------------
+
+// StudentTCDF returns P(T <= t) for the Student-t law with nu degrees
+// of freedom, via the regularized incomplete beta function.
+func StudentTCDF(nu, t float64) float64 {
+	if nu <= 0 {
+		panic(fmt.Sprintf("stats: t degrees of freedom %v must be positive", nu))
+	}
+	if t == 0 {
+		return 0.5
+	}
+	x := nu / (nu + t*t)
+	p := 0.5 * RegIncBeta(nu/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// StudentTQuantile returns the p-quantile of the Student-t law with nu
+// degrees of freedom. For nu > 1e6 the normal quantile is returned.
+func StudentTQuantile(nu, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: t quantile probability %v outside (0,1)", p))
+	}
+	if nu > 1e6 {
+		return normQuantileLocal(p)
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// Bracket then bisect on the CDF; the t law is symmetric so only
+	// magnitudes matter for the bracket.
+	lo, hi := -1.0, 1.0
+	for StudentTCDF(nu, lo) > p {
+		lo *= 2
+		if lo < -1e12 {
+			break
+		}
+	}
+	for StudentTCDF(nu, hi) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(nu, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RegIncBeta computes the regularized incomplete beta function
+// I_x(a, b) by the continued-fraction expansion (Numerical Recipes
+// betacf), accurate to ~1e-14 over the domain used here.
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log1p(-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the incomplete beta continued fraction by modified
+// Lentz's method.
+func betaCF(a, b, x float64) float64 {
+	const tiny = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= 500; m++ {
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + 2*fm) * (a + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + 2*fm) * (qap + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return h
+}
+
+// normQuantileLocal mirrors dist.NormQuantile without importing dist
+// (stats must stay dependency-light); bisection on erfc is plenty for
+// the large-nu fallback.
+func normQuantileLocal(p float64) float64 {
+	cdf := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ---------------------------------------------------------------------
+// Availability metrics
+// ---------------------------------------------------------------------
+
+// HoursPerYear is the conversion constant used for downtime-per-year
+// reporting.
+const HoursPerYear = 8766.0 // 365.25 days
+
+// Nines converts an availability in [0,1) to the "number of nines"
+// scale used throughout the paper's figures:
+// nines = -log10(1 - availability). Availability 1 maps to +Inf.
+func Nines(availability float64) float64 {
+	if availability >= 1 {
+		return math.Inf(1)
+	}
+	if availability < 0 {
+		panic(fmt.Sprintf("stats: availability %v < 0", availability))
+	}
+	return -math.Log10(1 - availability)
+}
+
+// FromNines converts a number-of-nines back to an availability.
+func FromNines(nines float64) float64 {
+	if math.IsInf(nines, 1) {
+		return 1
+	}
+	return 1 - math.Pow(10, -nines)
+}
+
+// Unavailability returns 1 - availability, clamped at 0.
+func Unavailability(availability float64) float64 {
+	u := 1 - availability
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// DowntimeHoursPerYear converts an availability to expected downtime
+// hours per year.
+func DowntimeHoursPerYear(availability float64) float64 {
+	return Unavailability(availability) * HoursPerYear
+}
+
+// DowntimeMinutesPerYear converts an availability to expected downtime
+// minutes per year.
+func DowntimeMinutesPerYear(availability float64) float64 {
+	return DowntimeHoursPerYear(availability) * 60
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+// Histogram is a fixed-bin histogram over [Lo, Hi) with overflow and
+// underflow counters, used to inspect downtime distributions from the
+// Monte-Carlo simulator.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []int64
+	Underflow int64
+	Overflow  int64
+	total     int64
+}
+
+// NewHistogram returns a histogram with bins equal-width bins spanning
+// [lo, hi). It panics unless lo < hi and bins >= 1.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo || bins < 1 {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) with %d bins", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard against round-up at the edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations recorded, including
+// under/overflow.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Merge folds another histogram with identical binning into this one;
+// it panics on a binning mismatch. Used to combine per-worker
+// Monte-Carlo histograms.
+func (h *Histogram) Merge(o *Histogram) {
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		panic("stats: merging histograms with different binning")
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Underflow += o.Underflow
+	h.Overflow += o.Overflow
+	h.total += o.total
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Quantile returns an approximate q-quantile from binned data
+// (midpoint rule); NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	target := int64(q * float64(h.total))
+	cum := h.Underflow
+	if cum > target {
+		return h.Lo
+	}
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			return h.BinCenter(i)
+		}
+	}
+	return h.Hi
+}
+
+// ---------------------------------------------------------------------
+// Small-sample helpers
+// ---------------------------------------------------------------------
+
+// Mean returns the arithmetic mean of xs (NaN when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (NaN when empty). The input is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// GeoMean returns the geometric mean of strictly positive xs (NaN when
+// empty or when any element is non-positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,413 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"herald/internal/xrand"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if math.Abs(a.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", a.Variance(), 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Error("empty accumulator not zeroed")
+	}
+	if !math.IsNaN(a.Min()) || !math.IsNaN(a.Max()) {
+		t.Error("empty accumulator min/max should be NaN")
+	}
+	iv := a.ConfidenceInterval(0.99)
+	if iv.Lo != 0 || iv.Hi != 0 {
+		t.Error("empty CI should be degenerate at 0")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Variance() != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+	iv := a.ConfidenceInterval(0.95)
+	if iv.Lo != 3.5 || iv.Hi != 3.5 {
+		t.Error("single-sample CI should be degenerate at the mean")
+	}
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	r := xrand.New(42)
+	var whole, left, right Accumulator
+	for i := 0; i < 1000; i++ {
+		x := r.NormFloat64()*3 + 10
+		whole.Add(x)
+		if i%2 == 0 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", left.N(), whole.N())
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-10 {
+		t.Errorf("merged mean %v vs %v", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Variance()-whole.Variance()) > 1e-8 {
+		t.Errorf("merged variance %v vs %v", left.Variance(), whole.Variance())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Error("merged min/max mismatch")
+	}
+}
+
+func TestAccumulatorMergeEmpty(t *testing.T) {
+	var a, b Accumulator
+	a.Add(1)
+	a.Add(2)
+	before := a
+	a.Merge(&b) // merging empty is a no-op
+	if a != before {
+		t.Error("merging empty changed accumulator")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 1.5 {
+		t.Error("merging into empty failed")
+	}
+}
+
+func TestTinyMagnitudeStability(t *testing.T) {
+	// Unavailability magnitudes ~1e-9 must not lose precision.
+	var a Accumulator
+	for i := 0; i < 1000; i++ {
+		a.Add(1e-9 + float64(i%2)*1e-12)
+	}
+	want := 1e-9 + 0.5e-12
+	if math.Abs(a.Mean()-want)/want > 1e-9 {
+		t.Errorf("mean of tiny values = %v, want %v", a.Mean(), want)
+	}
+	if a.Variance() < 0 {
+		t.Error("negative variance")
+	}
+}
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	for _, nu := range []float64{1, 2, 5, 30, 100} {
+		for _, x := range []float64{0.5, 1, 2, 5} {
+			s := StudentTCDF(nu, x) + StudentTCDF(nu, -x)
+			if math.Abs(s-1) > 1e-12 {
+				t.Errorf("CDF(%v)+CDF(-%v) = %v for nu=%v", x, x, s, nu)
+			}
+		}
+		if math.Abs(StudentTCDF(nu, 0)-0.5) > 1e-15 {
+			t.Errorf("CDF(0) != 0.5 for nu=%v", nu)
+		}
+	}
+}
+
+func TestStudentTQuantileKnownValues(t *testing.T) {
+	// Classic t-table values.
+	cases := []struct{ nu, p, want float64 }{
+		{1, 0.975, 12.706},
+		{2, 0.975, 4.3027},
+		{5, 0.975, 2.5706},
+		{10, 0.995, 3.1693},
+		{30, 0.975, 2.0423},
+		{100, 0.995, 2.6259},
+		{1000000 - 1, 0.995, 2.5758},
+	}
+	for _, c := range cases {
+		got := StudentTQuantile(c.nu, c.p)
+		if math.Abs(got-c.want)/c.want > 2e-4 {
+			t.Errorf("t(%v, %v) = %v, want %v", c.nu, c.p, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileRoundTrip(t *testing.T) {
+	for _, nu := range []float64{3, 12, 60} {
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+			x := StudentTQuantile(nu, p)
+			if back := StudentTCDF(nu, x); math.Abs(back-p) > 1e-9 {
+				t.Errorf("CDF(Quantile(%v)) = %v for nu=%v", p, back, nu)
+			}
+		}
+	}
+}
+
+func TestStudentTLargeNuIsNormal(t *testing.T) {
+	got := StudentTQuantile(2e6, 0.975)
+	if math.Abs(got-1.959964) > 1e-4 {
+		t.Errorf("large-nu quantile = %v, want ~1.96", got)
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = x^2 (3-2x).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		want := x * x * (3 - 2*x)
+		if got := RegIncBeta(2, 2, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+	if RegIncBeta(3, 4, 0) != 0 || RegIncBeta(3, 4, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	// ~95% of 95% CIs from normal samples should contain the true mean.
+	r := xrand.New(7)
+	const trials, n = 400, 30
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		var a Accumulator
+		for i := 0; i < n; i++ {
+			a.Add(r.NormFloat64()*2 + 5)
+		}
+		if a.ConfidenceInterval(0.95).Contains(5) {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Errorf("95%% CI coverage = %v over %d trials", frac, trials)
+	}
+}
+
+func TestHalfWidthShrinksWithN(t *testing.T) {
+	r := xrand.New(11)
+	var small, large Accumulator
+	for i := 0; i < 100; i++ {
+		small.Add(r.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(r.NormFloat64())
+	}
+	if large.HalfWidth(0.99) >= small.HalfWidth(0.99) {
+		t.Error("half-width did not shrink with more samples")
+	}
+}
+
+func TestNinesConversions(t *testing.T) {
+	cases := []struct{ avail, nines float64 }{
+		{0.9, 1}, {0.99, 2}, {0.999, 3}, {0.99999, 5},
+	}
+	for _, c := range cases {
+		if got := Nines(c.avail); math.Abs(got-c.nines) > 1e-9 {
+			t.Errorf("Nines(%v) = %v, want %v", c.avail, got, c.nines)
+		}
+		if got := FromNines(c.nines); math.Abs(got-c.avail) > 1e-12 {
+			t.Errorf("FromNines(%v) = %v, want %v", c.nines, got, c.avail)
+		}
+	}
+	if !math.IsInf(Nines(1), 1) {
+		t.Error("Nines(1) should be +Inf")
+	}
+	if FromNines(math.Inf(1)) != 1 {
+		t.Error("FromNines(+Inf) should be 1")
+	}
+}
+
+func TestNinesPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Nines(-0.1)
+}
+
+func TestDowntimeConversions(t *testing.T) {
+	// Five nines is the canonical "about 5 minutes a year".
+	min := DowntimeMinutesPerYear(0.99999)
+	if min < 5 || min > 5.5 {
+		t.Errorf("five-nines downtime = %v min/yr", min)
+	}
+	if got := DowntimeHoursPerYear(1); got != 0 {
+		t.Errorf("perfect availability downtime = %v", got)
+	}
+	if got := Unavailability(1.0000001); got != 0 {
+		t.Errorf("clamped unavailability = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.Total() != 12 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Errorf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d = %d, want 1", i, c)
+		}
+	}
+	if med := h.Quantile(0.5); math.Abs(med-5.5) > 1.01 {
+		t.Errorf("median = %v", med)
+	}
+}
+
+func TestHistogramEdgeValue(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(math.Nextafter(1, 0)) // just under Hi must land in last bin
+	if h.Counts[3] != 1 {
+		t.Errorf("edge value landed in %v", h.Counts)
+	}
+	h.Add(1) // exactly Hi overflows
+	if h.Overflow != 1 {
+		t.Error("Hi should overflow")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 5)
+}
+
+func TestSmallSampleHelpers(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if Median(xs) != 2 {
+		t.Errorf("median = %v", Median(xs))
+	}
+	if xs[0] != 3 {
+		t.Error("median mutated input")
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-12 {
+		t.Errorf("geomean = %v", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("geomean with zero should be NaN")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) || !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty helpers should be NaN")
+	}
+}
+
+func TestQuickNinesRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		// Beyond ~10 nines the 1-a subtraction saturates float64
+		// precision, so bound the property to the representable range.
+		n := 0.5 + float64(raw)/65535*9 // nines in [0.5, 9.5]
+		back := Nines(FromNines(n))
+		return math.Abs(back-n) < 1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAccumulatorMergeCommutes(t *testing.T) {
+	f := func(seed uint64, split uint8) bool {
+		r := xrand.New(seed)
+		n := 10 + int(split)
+		var ab, ba, a1, b1 Accumulator
+		var xs []float64
+		for i := 0; i < n; i++ {
+			xs = append(xs, r.Float64()*100)
+		}
+		k := n / 2
+		for i, x := range xs {
+			if i < k {
+				a1.Add(x)
+			} else {
+				b1.Add(x)
+			}
+		}
+		ab = a1
+		ab.Merge(&b1)
+		ba = b1
+		ba.Merge(&a1)
+		return math.Abs(ab.Mean()-ba.Mean()) < 1e-9 &&
+			math.Abs(ab.Variance()-ba.Variance()) < 1e-7 &&
+			ab.N() == ba.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarianceNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		var a Accumulator
+		for i := 0; i < 100; i++ {
+			a.Add(r.Float64() * 1e-9)
+		}
+		return a.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	b := NewHistogram(0, 10, 5)
+	a.Add(1)
+	a.Add(-1)
+	b.Add(3)
+	b.Add(99)
+	a.Merge(b)
+	if a.Total() != 4 || a.Underflow != 1 || a.Overflow != 1 {
+		t.Fatalf("merged totals wrong: %+v", a)
+	}
+	if a.Counts[0] != 1 || a.Counts[1] != 1 {
+		t.Fatalf("merged counts = %v", a.Counts)
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	b := NewHistogram(0, 20, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Merge(b)
+}

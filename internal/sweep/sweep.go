@@ -1,0 +1,137 @@
+// Package sweep provides parameter-grid helpers for the experiment
+// harness: linear and logarithmic ranges, one-dimensional series
+// evaluation, and crossover detection (used to locate where RAID
+// availability rankings flip as hep grows).
+package sweep
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// It panics unless n >= 2 and hi > lo.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		panic(fmt.Sprintf("sweep: invalid linspace(%v, %v, %d)", lo, hi, n))
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // exact endpoint despite rounding
+	return out
+}
+
+// Logspace returns n logarithmically spaced values from lo to hi
+// inclusive. It panics unless n >= 2 and 0 < lo < hi.
+func Logspace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic(fmt.Sprintf("sweep: invalid logspace(%v, %v, %d)", lo, hi, n))
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	step := (lhi - llo) / float64(n-1)
+	for i := range out {
+		out[i] = math.Exp(llo + float64(i)*step)
+	}
+	out[0], out[n-1] = lo, hi
+	return out
+}
+
+// Series is a sampled one-dimensional function.
+type Series struct {
+	X, Y []float64
+}
+
+// Eval samples f over xs, failing fast on the first error.
+func Eval(xs []float64, f func(x float64) (float64, error)) (Series, error) {
+	s := Series{X: append([]float64(nil), xs...), Y: make([]float64, len(xs))}
+	for i, x := range xs {
+		y, err := f(x)
+		if err != nil {
+			return Series{}, fmt.Errorf("sweep: at x=%v: %w", x, err)
+		}
+		s.Y[i] = y
+	}
+	return s, nil
+}
+
+// Len returns the number of samples.
+func (s Series) Len() int { return len(s.X) }
+
+// Min returns the smallest Y value (NaN when empty).
+func (s Series) Min() float64 {
+	if len(s.Y) == 0 {
+		return math.NaN()
+	}
+	m := s.Y[0]
+	for _, y := range s.Y[1:] {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Max returns the largest Y value (NaN when empty).
+func (s Series) Max() float64 {
+	if len(s.Y) == 0 {
+		return math.NaN()
+	}
+	m := s.Y[0]
+	for _, y := range s.Y[1:] {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// ArgMax returns the X at which Y is largest (NaN when empty).
+func (s Series) ArgMax() float64 {
+	if len(s.Y) == 0 {
+		return math.NaN()
+	}
+	bi := 0
+	for i, y := range s.Y {
+		if y > s.Y[bi] {
+			bi = i
+		}
+	}
+	return s.X[bi]
+}
+
+// Crossovers returns the X positions (linearly interpolated) where two
+// series sampled on the same grid swap order — e.g. where RAID1's
+// availability curve crosses below RAID5's as hep grows. It panics if
+// the grids differ.
+func Crossovers(a, b Series) []float64 {
+	if len(a.X) != len(b.X) {
+		panic("sweep: crossover of series with different grids")
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			panic("sweep: crossover of series with different grids")
+		}
+	}
+	var xs []float64
+	for i := 1; i < len(a.X); i++ {
+		d0 := a.Y[i-1] - b.Y[i-1]
+		d1 := a.Y[i] - b.Y[i]
+		if d0 == 0 {
+			// Touching at a sample point counts once.
+			if i == 1 || (a.Y[i-2]-b.Y[i-2])*d1 < 0 {
+				xs = append(xs, a.X[i-1])
+			}
+			continue
+		}
+		if d0*d1 < 0 {
+			// Linear interpolation of the sign change.
+			frac := d0 / (d0 - d1)
+			xs = append(xs, a.X[i-1]+frac*(a.X[i]-a.X[i-1]))
+		}
+	}
+	return xs
+}

@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 10, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Fatalf("xs = %v", xs)
+		}
+	}
+}
+
+func TestLinspaceEndpointsExact(t *testing.T) {
+	xs := Linspace(5e-7, 5.5e-6, 11)
+	if xs[0] != 5e-7 || xs[10] != 5.5e-6 {
+		t.Fatalf("endpoints %v .. %v", xs[0], xs[10])
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	xs := Logspace(1e-7, 1e-5, 3)
+	if xs[0] != 1e-7 || xs[2] != 1e-5 {
+		t.Fatalf("endpoints %v .. %v", xs[0], xs[2])
+	}
+	if math.Abs(xs[1]-1e-6)/1e-6 > 1e-10 {
+		t.Fatalf("midpoint = %v, want 1e-6", xs[1])
+	}
+}
+
+func TestRangePanics(t *testing.T) {
+	cases := []func(){
+		func() { Linspace(0, 1, 1) },
+		func() { Linspace(2, 1, 5) },
+		func() { Logspace(0, 1, 5) },
+		func() { Logspace(1, 1, 5) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEval(t *testing.T) {
+	s, err := Eval([]float64{1, 2, 3}, func(x float64) (float64, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Y[2] != 9 {
+		t.Fatalf("series = %+v", s)
+	}
+	if s.Min() != 1 || s.Max() != 9 || s.ArgMax() != 3 {
+		t.Fatalf("stats wrong: min %v max %v argmax %v", s.Min(), s.Max(), s.ArgMax())
+	}
+}
+
+func TestEvalPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Eval([]float64{1, 2}, func(x float64) (float64, error) {
+		if x == 2 {
+			return 0, boom
+		}
+		return x, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptySeriesStats(t *testing.T) {
+	var s Series
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) || !math.IsNaN(s.ArgMax()) {
+		t.Fatal("empty series stats should be NaN")
+	}
+}
+
+func TestCrossoversSingle(t *testing.T) {
+	// a = x, b = 2 - x cross at x = 1.
+	xs := Linspace(0, 2, 5)
+	a, _ := Eval(xs, func(x float64) (float64, error) { return x, nil })
+	b, _ := Eval(xs, func(x float64) (float64, error) { return 2 - x, nil })
+	cross := Crossovers(a, b)
+	if len(cross) != 1 || math.Abs(cross[0]-1) > 1e-12 {
+		t.Fatalf("crossovers = %v", cross)
+	}
+}
+
+func TestCrossoversNone(t *testing.T) {
+	xs := Linspace(0, 1, 4)
+	a, _ := Eval(xs, func(x float64) (float64, error) { return x, nil })
+	b, _ := Eval(xs, func(x float64) (float64, error) { return x + 1, nil })
+	if cross := Crossovers(a, b); len(cross) != 0 {
+		t.Fatalf("crossovers = %v", cross)
+	}
+}
+
+func TestCrossoversGridMismatchPanics(t *testing.T) {
+	a := Series{X: []float64{1, 2}, Y: []float64{1, 2}}
+	b := Series{X: []float64{1, 3}, Y: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Crossovers(a, b)
+}
+
+func TestQuickLinspaceMonotone(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := 2 + int(nRaw%50)
+		xs := Linspace(1, 100, n)
+		for i := 1; i < len(xs); i++ {
+			if xs[i] <= xs[i-1] {
+				return false
+			}
+		}
+		return len(xs) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLogspacePositiveMonotone(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := 2 + int(nRaw%30)
+		xs := Logspace(1e-8, 1e-2, n)
+		for i, x := range xs {
+			if x <= 0 {
+				return false
+			}
+			if i > 0 && x <= xs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

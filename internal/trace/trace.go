@@ -1,0 +1,253 @@
+// Package trace generates and fits disk failure logs: the input side
+// of the availability study. The paper takes its Weibull parameters
+// from field studies (Schroeder & Gibson, FAST'07); this package
+// provides the machinery a practitioner needs to derive such
+// parameters from their own logs — synthetic log generation from any
+// lifetime law, and maximum-likelihood fitting of exponential and
+// Weibull models with right-censoring (most disks in a real log never
+// fail during the observation window).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"herald/internal/dist"
+	"herald/internal/xrand"
+)
+
+// Observation is one disk-lifetime record: a duration in hours and
+// whether the observation window closed before the disk failed
+// (right-censored).
+type Observation struct {
+	Duration float64
+	Censored bool
+}
+
+// Log is a set of lifetime observations.
+type Log []Observation
+
+// Failures returns the number of uncensored (actual failure)
+// observations.
+func (l Log) Failures() int {
+	n := 0
+	for _, o := range l {
+		if !o.Censored {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalExposure returns the summed duration over all observations
+// (the denominator of the classic failures-per-device-hour rate).
+func (l Log) TotalExposure() float64 {
+	s := 0.0
+	for _, o := range l {
+		s += o.Duration
+	}
+	return s
+}
+
+// validate rejects logs that cannot be fitted.
+func (l Log) validate() error {
+	if len(l) == 0 {
+		return errors.New("trace: empty log")
+	}
+	for i, o := range l {
+		if o.Duration <= 0 || math.IsNaN(o.Duration) || math.IsInf(o.Duration, 0) {
+			return fmt.Errorf("trace: observation %d has invalid duration %v", i, o.Duration)
+		}
+	}
+	if l.Failures() == 0 {
+		return errors.New("trace: log contains no failures; parameters are not identifiable")
+	}
+	return nil
+}
+
+// Generate simulates a fleet of slots over an observation window:
+// each slot runs disks drawn from the lifetime law, replacing them on
+// failure (a renewal process), and the final in-service disk is
+// recorded as censored at the window end. This is the shape of real
+// field logs.
+func Generate(lifetime dist.Distribution, slots int, window float64, r *xrand.Source) Log {
+	if slots < 1 || window <= 0 {
+		panic(fmt.Sprintf("trace: invalid generation parameters slots=%d window=%v", slots, window))
+	}
+	var log Log
+	for s := 0; s < slots; s++ {
+		t := 0.0
+		for {
+			life := lifetime.Sample(r)
+			if t+life >= window {
+				remaining := window - t
+				if remaining > 0 {
+					log = append(log, Observation{Duration: remaining, Censored: true})
+				}
+				break
+			}
+			log = append(log, Observation{Duration: life})
+			t += life
+		}
+	}
+	return log
+}
+
+// FitExponential returns the maximum-likelihood failure rate for a
+// (possibly censored) log: failures / total exposure.
+func FitExponential(l Log) (rate float64, err error) {
+	if err := l.validate(); err != nil {
+		return 0, err
+	}
+	return float64(l.Failures()) / l.TotalExposure(), nil
+}
+
+// FitWeibull returns the maximum-likelihood Weibull shape and scale
+// for a (possibly censored) log. The profile-likelihood equation in
+// the shape k,
+//
+//	g(k) = sum_i x_i^k ln x_i / sum_i x_i^k - 1/k - mean(ln x_f) = 0
+//
+// (sums over all observations, the mean over failures only) is solved
+// by bisection; the scale follows as (sum_i x_i^k / r)^(1/k).
+func FitWeibull(l Log) (shape, scale float64, err error) {
+	if err := l.validate(); err != nil {
+		return 0, 0, err
+	}
+	r := float64(l.Failures())
+	meanLogFail := 0.0
+	for _, o := range l {
+		if !o.Censored {
+			meanLogFail += math.Log(o.Duration)
+		}
+	}
+	meanLogFail /= r
+
+	g := func(k float64) float64 {
+		// Numerically stable weighted sums: factor out max x^k.
+		maxLog := math.Inf(-1)
+		for _, o := range l {
+			if lx := k * math.Log(o.Duration); lx > maxLog {
+				maxLog = lx
+			}
+		}
+		var sw, swl float64
+		for _, o := range l {
+			w := math.Exp(k*math.Log(o.Duration) - maxLog)
+			sw += w
+			swl += w * math.Log(o.Duration)
+		}
+		return swl/sw - 1/k - meanLogFail
+	}
+
+	// g is increasing in k; bracket the root.
+	lo, hi := 1e-3, 1.0
+	for g(hi) < 0 {
+		hi *= 2
+		if hi > 1e4 {
+			return 0, 0, errors.New("trace: weibull shape did not bracket (degenerate log)")
+		}
+	}
+	for g(lo) > 0 {
+		lo /= 2
+		if lo < 1e-9 {
+			return 0, 0, errors.New("trace: weibull shape did not bracket (degenerate log)")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	shape = (lo + hi) / 2
+
+	// Scale from the likelihood equation, in log space.
+	maxLog := math.Inf(-1)
+	for _, o := range l {
+		if lx := shape * math.Log(o.Duration); lx > maxLog {
+			maxLog = lx
+		}
+	}
+	sw := 0.0
+	for _, o := range l {
+		sw += math.Exp(shape*math.Log(o.Duration) - maxLog)
+	}
+	logScale := (maxLog + math.Log(sw) - math.Log(r)) / shape
+	scale = math.Exp(logScale)
+	return shape, scale, nil
+}
+
+// LogLikelihoodExponential evaluates the censored log-likelihood of an
+// exponential model.
+func LogLikelihoodExponential(l Log, rate float64) float64 {
+	ll := 0.0
+	for _, o := range l {
+		if o.Censored {
+			ll += -rate * o.Duration
+		} else {
+			ll += math.Log(rate) - rate*o.Duration
+		}
+	}
+	return ll
+}
+
+// LogLikelihoodWeibull evaluates the censored log-likelihood of a
+// Weibull model.
+func LogLikelihoodWeibull(l Log, shape, scale float64) float64 {
+	ll := 0.0
+	for _, o := range l {
+		z := o.Duration / scale
+		h := math.Pow(z, shape)
+		if o.Censored {
+			ll += -h
+		} else {
+			ll += math.Log(shape/scale) + (shape-1)*math.Log(z) - h
+		}
+	}
+	return ll
+}
+
+// ModelChoice summarizes an AIC comparison between the exponential and
+// Weibull fits of a log.
+type ModelChoice struct {
+	ExpRate               float64
+	WeibullShape          float64
+	WeibullScale          float64
+	AICExponential        float64
+	AICWeibull            float64
+	WeibullPreferred      bool
+	ImpliedMeanRate       float64 // 1 / fitted mean lifetime
+	FittedMeanLifetimeHrs float64
+}
+
+// Choose fits both models and compares them by AIC (2k - 2 lnL).
+func Choose(l Log) (ModelChoice, error) {
+	rate, err := FitExponential(l)
+	if err != nil {
+		return ModelChoice{}, err
+	}
+	shape, scale, err := FitWeibull(l)
+	if err != nil {
+		return ModelChoice{}, err
+	}
+	aicE := 2*1 - 2*LogLikelihoodExponential(l, rate)
+	aicW := 2*2 - 2*LogLikelihoodWeibull(l, shape, scale)
+	mean := dist.NewWeibull(shape, scale).Mean()
+	return ModelChoice{
+		ExpRate:               rate,
+		WeibullShape:          shape,
+		WeibullScale:          scale,
+		AICExponential:        aicE,
+		AICWeibull:            aicW,
+		WeibullPreferred:      aicW < aicE,
+		ImpliedMeanRate:       1 / mean,
+		FittedMeanLifetimeHrs: mean,
+	}, nil
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"herald/internal/dist"
+	"herald/internal/xrand"
+)
+
+func TestGenerateShape(t *testing.T) {
+	r := xrand.New(1)
+	log := Generate(dist.NewExponential(1e-4), 100, 1e5, r)
+	if len(log) == 0 {
+		t.Fatal("empty log")
+	}
+	censored := len(log) - log.Failures()
+	// Every slot ends with (at most) one censored record.
+	if censored > 100 {
+		t.Fatalf("censored %d > slots", censored)
+	}
+	if censored == 0 {
+		t.Fatal("expected some censored records")
+	}
+	if log.Failures() == 0 {
+		t.Fatal("expected failures at lambda*window = 10")
+	}
+	for _, o := range log {
+		if o.Duration <= 0 || o.Duration > 1e5 {
+			t.Fatalf("bad duration %v", o.Duration)
+		}
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(dist.NewExponential(1), 0, 10, xrand.New(1))
+}
+
+func TestFitExponentialRecoversRate(t *testing.T) {
+	r := xrand.New(7)
+	const want = 2e-5
+	log := Generate(dist.NewExponential(want), 2000, 2e5, r)
+	rate, err := FitExponential(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rate-want) / want; rel > 0.05 {
+		t.Fatalf("fitted rate %v, want %v (rel %v)", rate, want, rel)
+	}
+}
+
+func TestFitWeibullRecoversParameters(t *testing.T) {
+	r := xrand.New(11)
+	// The paper's steepest Fig. 5 pair: rate 2e-5 mean, shape 1.48.
+	truth := dist.WeibullFromMeanRate(2e-5, 1.48)
+	log := Generate(truth, 3000, 2e5, r)
+	shape, scale, err := FitWeibull(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(shape-1.48) / 1.48; rel > 0.05 {
+		t.Fatalf("fitted shape %v, want 1.48", shape)
+	}
+	if rel := math.Abs(scale-truth.Scale) / truth.Scale; rel > 0.05 {
+		t.Fatalf("fitted scale %v, want %v", scale, truth.Scale)
+	}
+}
+
+func TestFitWeibullOnExponentialDataGivesShapeOne(t *testing.T) {
+	r := xrand.New(13)
+	log := Generate(dist.NewExponential(5e-5), 3000, 1e5, r)
+	shape, _, err := FitWeibull(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shape-1) > 0.06 {
+		t.Fatalf("shape on exponential data = %v, want ~1", shape)
+	}
+}
+
+func TestFitHandlesHeavyCensoring(t *testing.T) {
+	// Short window relative to MTTF: most records censored, as in a
+	// real field study.
+	r := xrand.New(17)
+	log := Generate(dist.NewExponential(1e-5), 20000, 2e4, r) // ~18% fail
+	frac := float64(log.Failures()) / float64(len(log))
+	if frac > 0.5 {
+		t.Fatalf("expected heavy censoring, got failure fraction %v", frac)
+	}
+	rate, err := FitExponential(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rate-1e-5) / 1e-5; rel > 0.06 {
+		t.Fatalf("censored fit %v, want 1e-5", rate)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitExponential(nil); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	if _, _, err := FitWeibull(Log{{Duration: 5, Censored: true}}); err == nil {
+		t.Fatal("failure-free log accepted")
+	}
+	if _, err := FitExponential(Log{{Duration: -1}}); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	if _, err := FitExponential(Log{{Duration: math.NaN()}}); err == nil {
+		t.Fatal("NaN duration accepted")
+	}
+}
+
+func TestLogLikelihoodPeaksNearMLE(t *testing.T) {
+	r := xrand.New(19)
+	log := Generate(dist.NewExponential(3e-5), 1000, 1e5, r)
+	mle, err := FitExponential(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := LogLikelihoodExponential(log, mle)
+	for _, factor := range []float64{0.5, 0.8, 1.25, 2} {
+		if ll := LogLikelihoodExponential(log, mle*factor); ll >= best {
+			t.Fatalf("likelihood at %vx MLE (%v) >= at MLE (%v)", factor, ll, best)
+		}
+	}
+}
+
+func TestChoosePrefersWeibullOnWearOutData(t *testing.T) {
+	r := xrand.New(23)
+	truth := dist.WeibullFromMeanRate(2e-5, 1.48)
+	log := Generate(truth, 3000, 2e5, r)
+	choice, err := Choose(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !choice.WeibullPreferred {
+		t.Fatalf("AIC chose exponential on shape-1.48 data: %+v", choice)
+	}
+	if rel := math.Abs(choice.ImpliedMeanRate-2e-5) / 2e-5; rel > 0.06 {
+		t.Fatalf("implied mean rate %v, want 2e-5", choice.ImpliedMeanRate)
+	}
+}
+
+func TestChoosePrefersExponentialOnMemorylessData(t *testing.T) {
+	r := xrand.New(29)
+	log := Generate(dist.NewExponential(2e-5), 3000, 2e5, r)
+	choice, err := Choose(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AIC penalizes Weibull's extra parameter; on truly exponential
+	// data the simpler model should usually win.
+	if choice.WeibullPreferred && math.Abs(choice.WeibullShape-1) > 0.1 {
+		t.Fatalf("suspicious Weibull preference: %+v", choice)
+	}
+}
+
+func TestLogAccessors(t *testing.T) {
+	l := Log{{Duration: 10}, {Duration: 5, Censored: true}, {Duration: 1}}
+	if l.Failures() != 2 {
+		t.Fatalf("failures = %d", l.Failures())
+	}
+	if l.TotalExposure() != 16 {
+		t.Fatalf("exposure = %v", l.TotalExposure())
+	}
+}
+
+func TestQuickFitWeibullRoundTrip(t *testing.T) {
+	f := func(seed uint64, shapeRaw uint8) bool {
+		shape := 0.8 + float64(shapeRaw)/255*1.2 // 0.8 .. 2.0
+		r := xrand.New(seed)
+		truth := dist.NewWeibull(shape, 1e5)
+		log := Generate(truth, 800, 3e5, r)
+		if log.Failures() < 50 {
+			return true // too few failures to demand accuracy
+		}
+		got, _, err := FitWeibull(log)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-shape)/shape < 0.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package xrand provides a fast, reproducible pseudo-random number
+// generator substrate for Monte-Carlo availability simulation.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 so that any 64-bit seed yields a well-mixed state. The
+// package supports two ways of deriving statistically independent
+// streams from a single master seed:
+//
+//   - Jump: advances the state by 2^128 steps, giving up to 2^128
+//     non-overlapping subsequences (used for parallel simulation
+//     workers);
+//   - NewStream(seed, i): hashes (seed, i) through SplitMix64, a cheap
+//     scheme suitable for per-iteration replay streams.
+//
+// Source implements math/rand's Source64, so it can also back a
+// *rand.Rand when convenient.
+package xrand
+
+import "math"
+
+// Source is a xoshiro256** PRNG. The zero value is NOT a valid
+// generator; construct with New or NewStream.
+type Source struct {
+	s [4]uint64
+}
+
+// splitMix64 advances x by the SplitMix64 sequence and returns the next
+// output. It is the recommended seeding generator for xoshiro.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given 64-bit seed.
+func New(seed uint64) *Source {
+	var s Source
+	s.Seed(int64(seed))
+	return &s
+}
+
+// NewStream returns the stream-th independent Source derived from seed.
+// Streams with distinct (seed, stream) pairs are decorrelated by hashing
+// both through SplitMix64 before state expansion.
+func NewStream(seed uint64, stream uint64) *Source {
+	x := seed
+	h := splitMix64(&x)
+	x = h ^ (stream * 0xd2b74407b1ce6e93)
+	var s Source
+	s.s[0] = splitMix64(&x)
+	s.s[1] = splitMix64(&x)
+	s.s[2] = splitMix64(&x)
+	s.s[3] = splitMix64(&x)
+	s.normalize()
+	return &s
+}
+
+// Seed resets the generator state from a 64-bit seed. It implements
+// math/rand.Source.
+func (s *Source) Seed(seed int64) {
+	x := uint64(seed)
+	s.s[0] = splitMix64(&x)
+	s.s[1] = splitMix64(&x)
+	s.s[2] = splitMix64(&x)
+	s.s[3] = splitMix64(&x)
+	s.normalize()
+}
+
+// normalize guards against the (astronomically unlikely, but illegal)
+// all-zero state.
+func (s *Source) normalize() {
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits. It implements
+// math/rand.Source64.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative 63-bit random integer. It implements
+// math/rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Float64 returns a uniformly distributed float64 in [0, 1) with 53
+// bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// OpenFloat64 returns a uniformly distributed float64 in the open
+// interval (0, 1). It never returns exactly 0, which makes it safe to
+// feed into logarithms and inverse CDFs.
+func (s *Source) OpenFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1,
+// via inverse-transform sampling.
+func (s *Source) ExpFloat64() float64 {
+	return -math.Log(s.OpenFloat64())
+}
+
+// NormFloat64 returns a standard normal variate using the Marsaglia
+// polar method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. Lemire's multiply-shift rejection method keeps it unbiased.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Bernoulli returns true with probability p. Values of p <= 0 always
+// return false and p >= 1 always return true.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// jumpPoly is the xoshiro256** jump polynomial; calling Jump advances
+// the state by 2^128 steps.
+var jumpPoly = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+
+// Jump advances the generator 2^128 steps, equivalent to 2^128 calls to
+// Uint64. It is used to partition one seed into non-overlapping
+// parallel subsequences.
+func (s *Source) Jump() {
+	var t [4]uint64
+	for _, jp := range jumpPoly {
+		for b := uint(0); b < 64; b++ {
+			if jp&(1<<b) != 0 {
+				t[0] ^= s.s[0]
+				t[1] ^= s.s[1]
+				t[2] ^= s.s[2]
+				t[3] ^= s.s[3]
+			}
+			s.Uint64()
+		}
+	}
+	s.s = t
+}
+
+// Clone returns an independent copy of the generator in its current
+// state. The copy and the original produce identical sequences.
+func (s *Source) Clone() *Source {
+	c := *s
+	return &c
+}

@@ -1,0 +1,281 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("sequence diverged at %d: %x vs %x", i, av, bv)
+		}
+	}
+}
+
+func TestSeedChangesSequence(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestOpenFloat64Positive(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 100000; i++ {
+		if v := s.OpenFloat64(); v <= 0 || v >= 1 {
+			t.Fatalf("OpenFloat64 out of (0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(17)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	varc := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(varc-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", varc)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(19)
+	for _, n := range []int{1, 2, 3, 7, 10, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(23)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d has %d draws, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(29)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(31)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", p)
+	}
+}
+
+func TestJumpDisjointStreams(t *testing.T) {
+	a := New(99)
+	b := a.Clone()
+	b.Jump()
+	seen := make(map[uint64]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		seen[a.Uint64()] = true
+	}
+	collisions := 0
+	for i := 0; i < 10000; i++ {
+		if seen[b.Uint64()] {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("jumped stream collided %d times with base stream prefix", collisions)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(5)
+	a.Uint64()
+	b := a.Clone()
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("clone diverged immediately")
+	}
+	// Advancing a must not affect b.
+	a.Uint64()
+	a.Uint64()
+	c := b.Clone()
+	if b.Uint64() != c.Uint64() {
+		t.Fatal("second clone diverged")
+	}
+}
+
+func TestNewStreamDistinct(t *testing.T) {
+	s0 := NewStream(1234, 0)
+	s1 := NewStream(1234, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s0.Uint64() == s1.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 0 and 1 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestNewStreamReproducible(t *testing.T) {
+	a := NewStream(77, 5)
+	b := NewStream(77, 5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical (seed,stream) gave different sequences")
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		if v := s.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%#x,%#x) = (%#x,%#x), want (%#x,%#x)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestQuickFloat64InRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSeedDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		return New(seed).Uint64() == New(seed).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroStateGuard(t *testing.T) {
+	var s Source // illegal all-zero state
+	s.normalize()
+	if s.Uint64() == 0 && s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("normalize left a degenerate zero generator")
+	}
+}
