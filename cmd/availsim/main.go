@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"herald/internal/dist"
@@ -42,6 +43,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// The distribution constructors treat non-positive rates as
+	// programmer errors and panic; turn bad flag values into flag
+	// errors instead.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"-lambda", *lambda}, {"-mu-df", *muDF},
+		{"-mu-ddf", *muDDF}, {"-mu-he", *muHE}, {"-mu-s", *muS}, {"-mu-ch", *muCH},
+	} {
+		if !(f.v > 0) || math.IsInf(f.v, 0) {
+			exitOn(fmt.Errorf("%s must be a positive finite value, got %v", f.name, f.v))
+		}
+	}
+
 	p := sim.ArrayParams{
 		Disks:           *disks,
 		Repair:          dist.NewExponential(*muDF),
@@ -57,6 +73,9 @@ func main() {
 	case "exp":
 		p.TTF = dist.NewExponential(*lambda)
 	case "weibull":
+		if !(*shape > 0) || math.IsInf(*shape, 0) {
+			exitOn(fmt.Errorf("-shape must be a positive finite value, got %v", *shape))
+		}
 		p.TTF = dist.WeibullFromMeanRate(*lambda, *shape)
 	default:
 		exitOn(fmt.Errorf("unknown -dist %q (want exp or weibull)", *distKind))

@@ -1,0 +1,3 @@
+module herald
+
+go 1.21

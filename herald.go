@@ -162,6 +162,44 @@ func WeibullFromMeanRate(rate, shape float64) Distribution {
 	return dist.WeibullFromMeanRate(rate, shape)
 }
 
+// Deterministic returns a point mass: a service of fixed duration (h).
+func Deterministic(value float64) Distribution { return dist.NewDeterministic(value) }
+
+// Uniform returns the constant-density law on [lo, hi) hours.
+func Uniform(lo, hi float64) Distribution { return dist.NewUniform(lo, hi) }
+
+// Lognormal returns the lognormal law with log-mean mu and log-stddev
+// sigma: the HRA literature's standard human task-time model.
+func Lognormal(mu, sigma float64) Distribution { return dist.NewLognormal(mu, sigma) }
+
+// LognormalFromMeanMedian returns the lognormal law with the given
+// mean and median (hours), the statistics HRA tables report.
+func LognormalFromMeanMedian(mean, median float64) Distribution {
+	return dist.LognormalFromMeanMedian(mean, median)
+}
+
+// Gamma returns the gamma law with the given shape and rate (1/h).
+func Gamma(shape, rate float64) Distribution { return dist.NewGamma(shape, rate) }
+
+// Erlang returns the k-stage Erlang law: a service procedure of k
+// sequential exponential steps of the given rate.
+func Erlang(k int, rate float64) Distribution { return dist.NewErlang(k, rate) }
+
+// HyperExponential returns a weighted mixture of exponential laws for
+// multi-mode durations (e.g. a wrong pull noticed within minutes or
+// discovered hours later).
+func HyperExponential(weights, rates []float64) Distribution {
+	return dist.NewHyperExponential(weights, rates)
+}
+
+// MixtureOf returns a weighted mixture of arbitrary component laws.
+func MixtureOf(weights []float64, components ...Distribution) Distribution {
+	return dist.NewMixture(weights, components...)
+}
+
+// NormQuantile returns the standard normal inverse CDF at p in (0,1).
+func NormQuantile(p float64) float64 { return dist.NormQuantile(p) }
+
 // ---------------------------------------------------------------------
 // RAID geometry
 // ---------------------------------------------------------------------

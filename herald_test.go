@@ -87,6 +87,49 @@ func TestFacadeDistributions(t *testing.T) {
 	}
 }
 
+func TestFacadeNewDistributionFamilies(t *testing.T) {
+	if Deterministic(5).Mean() != 5 || Deterministic(5).Var() != 0 {
+		t.Error("deterministic moments wrong")
+	}
+	if Uniform(2, 10).Mean() != 6 {
+		t.Error("uniform mean wrong")
+	}
+	if got, want := Lognormal(1, 0.5).Mean(), math.Exp(1.125); math.Abs(got-want) > 1e-12 {
+		t.Errorf("lognormal mean = %v, want %v", got, want)
+	}
+	if got := LognormalFromMeanMedian(20, 15).Mean(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("lognormal-from-moments mean = %v, want 20", got)
+	}
+	if Gamma(2.5, 0.5).Mean() != 5 {
+		t.Error("gamma mean wrong")
+	}
+	if Erlang(4, 2).Mean() != 2 {
+		t.Error("erlang mean wrong")
+	}
+	h := HyperExponential([]float64{0.5, 0.5}, []float64{1, 0.1})
+	if math.Abs(h.Mean()-5.5) > 1e-12 {
+		t.Errorf("hyper-exponential mean = %v, want 5.5", h.Mean())
+	}
+	m := MixtureOf([]float64{1, 1}, Deterministic(2), Deterministic(4))
+	if math.Abs(m.Mean()-3) > 1e-12 {
+		t.Errorf("mixture mean = %v, want 3", m.Mean())
+	}
+	if got := NormQuantile(0.975); math.Abs(got-1.959963984540054) > 1e-9 {
+		t.Errorf("NormQuantile(0.975) = %v", got)
+	}
+	// New families plug straight into the simulator.
+	p := PaperSimParams(4, 1e-4, 0.01)
+	p.Repair = Erlang(3, 0.3)
+	p.HERecovery = HyperExponential([]float64{0.8, 0.2}, []float64{2, 0.1})
+	s, err := Simulate(p, SimOptions{Iterations: 200, MissionTime: 1e5, Seed: 9, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Availability <= 0 || s.Availability >= 1 {
+		t.Fatalf("availability with phase-type services = %v", s.Availability)
+	}
+}
+
 func TestFacadeRAIDPlanning(t *testing.T) {
 	capacity, err := EquivalentCapacity(RAID1Mirror, RAID5Small, RAID5Wide)
 	if err != nil {

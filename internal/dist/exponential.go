@@ -1,0 +1,55 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"herald/internal/xrand"
+)
+
+// Exponential is the memoryless law with density
+// f(x) = Rate * exp(-Rate*x). It is the continuous-time analogue of
+// the constant-hazard assumption behind every CTMC transition in
+// internal/model.
+type Exponential struct {
+	// Rate is the hazard (1/h); the mean is 1/Rate.
+	Rate float64
+}
+
+// NewExponential returns the exponential law with the given rate
+// (1/h). It panics if rate is not finite and positive.
+func NewExponential(rate float64) Exponential {
+	checkPositive("exponential", "rate", rate)
+	return Exponential{Rate: rate}
+}
+
+// Sample draws by inverse CDF: -ln(U)/Rate with U uniform in (0, 1).
+func (e Exponential) Sample(r *xrand.Source) float64 {
+	return r.ExpFloat64() / e.Rate
+}
+
+// Mean returns 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Var returns 1/Rate^2.
+func (e Exponential) Var() float64 { return 1 / (e.Rate * e.Rate) }
+
+// CDF returns 1 - exp(-Rate*x).
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// -Expm1 avoids cancellation for small Rate*x.
+	return -math.Expm1(-e.Rate * x)
+}
+
+// Quantile returns -ln(1-p)/Rate.
+func (e Exponential) Quantile(p float64) float64 {
+	checkProb("exponential", p)
+	return -math.Log1p(-p) / e.Rate
+}
+
+// String names the law.
+func (e Exponential) String() string {
+	return fmt.Sprintf("Exponential(rate=%g)", e.Rate)
+}

@@ -1,0 +1,123 @@
+package markov_test
+
+import (
+	"math"
+	"testing"
+
+	"herald/internal/markov"
+	"herald/internal/sim"
+)
+
+// These tests cross-check the repository's two independent
+// availability engines end to end: the CTMC closed form (this
+// package's steady-state solver, on chains built directly with the
+// Builder) against the Monte-Carlo simulator running the matching
+// exponential laws. They live in an external test package because
+// internal/sim is a sibling consumer of markov, not a dependency.
+
+// paperRates are the §V-B constants shared by both engines.
+const (
+	muDF        = 0.1
+	muDDF       = 0.03
+	muHE        = 1.0
+	lambdaCrash = 0.01
+)
+
+// simParams builds the simulator configuration matching the chains
+// below: exponential everything at the paper's rates.
+func simParams(n int, lambda, hep float64) sim.ArrayParams {
+	p := sim.PaperDefaults(n, lambda, hep)
+	p.Policy = sim.Conventional
+	return p
+}
+
+// mcAvailability runs a seeded Monte-Carlo estimate.
+func mcAvailability(t *testing.T, p sim.ArrayParams) sim.Summary {
+	t.Helper()
+	s, err := sim.Run(p, sim.Options{
+		Iterations:  3000,
+		MissionTime: 2e5,
+		Seed:        987,
+		Workers:     4,
+		Confidence:  0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// assertAgreement mirrors the simulator test-suite convention: the
+// closed form must fall inside the MC confidence interval widened by a
+// structural slack (the simulator tracks second-order events the
+// chain aggregates).
+func assertAgreement(t *testing.T, name string, mc sim.Summary, analytic float64) {
+	t.Helper()
+	tol := 4*mc.HalfWidth + 0.03*(1-analytic)
+	if diff := math.Abs(mc.Availability - analytic); diff > tol {
+		t.Errorf("%s: MC %v vs CTMC closed form %v (diff %.3g > tol %.3g)",
+			name, mc.Availability, analytic, diff, tol)
+	}
+}
+
+// TestSteadyStateMatchesMonteCarloNoHumanError builds the classic
+// single-parity repairable-array chain (the hep = 0 reduction of the
+// paper's Fig. 2) directly with the Builder and checks its
+// steady-state availability against the simulator.
+func TestSteadyStateMatchesMonteCarloNoHumanError(t *testing.T) {
+	const (
+		n      = 4
+		lambda = 1e-4
+	)
+	c := markov.NewBuilder().
+		At("OP", "EXP", n*lambda).
+		At("EXP", "OP", muDF).
+		At("EXP", "DL", (n-1)*lambda).
+		At("DL", "OP", muDDF).
+		MustBuild()
+	analytic, err := c.SteadyProbability("OP", "EXP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := mcAvailability(t, simParams(n, lambda, 0))
+	assertAgreement(t, "hep=0", mc, analytic)
+}
+
+// TestSteadyStateMatchesMonteCarloWithHumanError repeats the
+// cross-check on the full Fig. 2 chain with the human-error states
+// (wrong pull, undo, post-undo resync) at hep = 0.01.
+func TestSteadyStateMatchesMonteCarloWithHumanError(t *testing.T) {
+	const (
+		n      = 4
+		lambda = 1e-4
+		hep    = 0.01
+	)
+	c := markov.NewBuilder().
+		At("OP", "EXP", n*lambda).
+		At("EXP", "DL", (n-1)*lambda).
+		At("EXP", "OP", (1-hep)*muDF).
+		At("EXP", "DU", hep*muDF).
+		At("DU", "DUR", (1-hep)*muHE).
+		At("DUR", "OP", muDDF).
+		At("DU", "DL", lambdaCrash).
+		At("DL", "OP", muDDF).
+		MustBuild()
+	analytic, err := c.SteadyProbability("OP", "EXP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := mcAvailability(t, simParams(n, lambda, hep))
+	assertAgreement(t, "hep=0.01", mc, analytic)
+
+	// The same chain also predicts the DU/DL downtime split; check the
+	// human-error share of unavailability against the simulator's
+	// bucketed downtime within the same structural slack.
+	duMass, err := c.SteadyProbability("DU", "DUR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcDU := mc.MeanDowntimeDU / mc.MissionTime
+	if diff := math.Abs(mcDU - duMass); diff > 4*mc.HalfWidth+0.1*duMass {
+		t.Errorf("DU mass: MC %v vs CTMC %v (diff %.3g)", mcDU, duMass, diff)
+	}
+}
