@@ -2,10 +2,20 @@
 // (paper §III) for one array configuration and prints the estimate
 // with its confidence interval and the event census.
 //
+// Time-to-failure (-dist) and replacement service (-repair-dist) laws
+// can be drawn from any family in internal/dist; each is
+// parameterized so its mean matches the corresponding rate flag
+// (1/lambda for TTF, 1/mu-df for the service).
+//
 // Examples:
 //
 //	availsim -disks 4 -lambda 1e-6 -hep 0.001 -iters 100000
 //	availsim -dist weibull -shape 1.48 -lambda 2e-5 -hep 0.01
+//	availsim -dist gamma -shape 2.5 -lambda 1e-5
+//	availsim -dist erlang -stages 3 -lambda 1e-5
+//	availsim -dist lognormal -sigma 1.2 -lambda 1e-5
+//	availsim -dist hyperexp -hyper-weights 0.9,0.1 -hyper-rates 2e-5,1e-6
+//	availsim -repair-dist lognormal -repair-sigma 0.8 -mu-df 0.1
 //	availsim -policy failover -disks 4 -lambda 1e-5 -hep 0.01
 package main
 
@@ -14,21 +24,122 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"herald/internal/dist"
 	"herald/internal/report"
 	"herald/internal/sim"
 )
 
+// distFamilies names the supported law families for -dist and
+// -repair-dist.
+const distFamilies = "exp, weibull, lognormal, gamma, erlang or hyperexp"
+
+// lawFlags bundles the shape flags of one distribution selection.
+type lawFlags struct {
+	family  string
+	shape   float64 // weibull / gamma shape
+	sigma   float64 // lognormal log-space standard deviation
+	stages  int     // erlang stage count
+	hyperW  string  // hyperexp branch weights (comma-separated)
+	hyperR  string  // hyperexp branch rates (comma-separated, 1/h)
+	flagTag string  // flag-name prefix for error messages ("" or "repair-")
+}
+
+// build constructs the law with mean 1/rate (except hyperexp, whose
+// branch rates are explicit).
+func (lf *lawFlags) build(rate float64) (dist.Distribution, error) {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("-%s"+format, append([]any{lf.flagTag}, args...)...)
+	}
+	switch lf.family {
+	case "exp":
+		return dist.NewExponential(rate), nil
+	case "weibull":
+		if !(lf.shape > 0) || math.IsInf(lf.shape, 0) {
+			return nil, bad("shape must be a positive finite value, got %v", lf.shape)
+		}
+		return dist.WeibullFromMeanRate(rate, lf.shape), nil
+	case "lognormal":
+		if !(lf.sigma > 0) || math.IsInf(lf.sigma, 0) {
+			return nil, bad("sigma must be a positive finite value, got %v", lf.sigma)
+		}
+		// Mean-matched: mu = ln(1/rate) - sigma^2/2.
+		return dist.NewLognormal(-math.Log(rate)-lf.sigma*lf.sigma/2, lf.sigma), nil
+	case "gamma":
+		if !(lf.shape > 0) || math.IsInf(lf.shape, 0) {
+			return nil, bad("shape must be a positive finite value, got %v", lf.shape)
+		}
+		// Mean shape/(shape*rate) = 1/rate.
+		return dist.NewGamma(lf.shape, lf.shape*rate), nil
+	case "erlang":
+		if lf.stages < 1 {
+			return nil, bad("stages must be >= 1, got %d", lf.stages)
+		}
+		return dist.NewErlang(lf.stages, float64(lf.stages)*rate), nil
+	case "hyperexp":
+		weights, err := parseCSV(lf.hyperW)
+		if err != nil {
+			return nil, bad("hyper-weights: %v", err)
+		}
+		rates, err := parseCSV(lf.hyperR)
+		if err != nil {
+			return nil, bad("hyper-rates: %v", err)
+		}
+		if len(weights) != len(rates) || len(weights) == 0 {
+			return nil, bad("hyper-weights and -%shyper-rates need the same non-zero length, got %d and %d",
+				lf.flagTag, len(weights), len(rates))
+		}
+		for _, r := range rates {
+			if !(r > 0) || math.IsInf(r, 0) {
+				return nil, bad("hyper-rates must be positive finite values, got %v", r)
+			}
+		}
+		sum := 0.0
+		for _, w := range weights {
+			if !(w >= 0) || math.IsInf(w, 0) {
+				return nil, bad("hyper-weights must be non-negative finite values, got %v", w)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return nil, bad("hyper-weights must sum to a positive value")
+		}
+		return dist.NewHyperExponential(weights, rates), nil
+	default:
+		return nil, fmt.Errorf("unknown -%sdist %q (want %s)", lf.flagTag, lf.family, distFamilies)
+	}
+}
+
+// parseCSV parses a comma-separated float list.
+func parseCSV(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad element %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 func main() {
 	var (
-		disks       = flag.Int("disks", 4, "total member disks n")
-		lambda      = flag.Float64("lambda", 1e-6, "per-disk failure rate (1/h)")
-		hep         = flag.Float64("hep", 0.001, "human error probability per service")
-		distKind    = flag.String("dist", "exp", "time-to-failure law: exp or weibull")
-		shape       = flag.Float64("shape", 1.2, "Weibull shape (with -dist weibull)")
-		policy      = flag.String("policy", "conventional", "replacement policy: conventional or failover")
-		muDF        = flag.Float64("mu-df", 0.1, "replacement/rebuild rate (1/h)")
+		disks  = flag.Int("disks", 4, "total member disks n")
+		lambda = flag.Float64("lambda", 1e-6, "per-disk failure rate (1/h); the TTF law's mean is 1/lambda")
+		hep    = flag.Float64("hep", 0.001, "human error probability per service")
+
+		ttf = lawFlags{flagTag: ""}
+		rep = lawFlags{flagTag: "repair-"}
+
+		policy      = flag.String("policy", "conventional", "replacement policy: conventional, failover or dualparity")
+		muDF        = flag.Float64("mu-df", 0.1, "replacement/rebuild rate (1/h); the service law's mean is 1/mu-df")
 		muDDF       = flag.Float64("mu-ddf", 0.03, "backup restore rate (1/h)")
 		muHE        = flag.Float64("mu-he", 1, "human error undo rate (1/h)")
 		muS         = flag.Float64("mu-s", 0.1, "on-line rebuild-to-spare rate (failover)")
@@ -41,6 +152,18 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		confidence  = flag.Float64("confidence", 0.99, "confidence level for the interval")
 	)
+	flag.StringVar(&ttf.family, "dist", "exp", "time-to-failure law: "+distFamilies)
+	flag.Float64Var(&ttf.shape, "shape", 1.2, "TTF shape (weibull, gamma)")
+	flag.Float64Var(&ttf.sigma, "sigma", 1, "TTF log-space standard deviation (lognormal)")
+	flag.IntVar(&ttf.stages, "stages", 2, "TTF stage count (erlang)")
+	flag.StringVar(&ttf.hyperW, "hyper-weights", "0.5,0.5", "TTF branch weights (hyperexp)")
+	flag.StringVar(&ttf.hyperR, "hyper-rates", "", "TTF branch rates 1/h (hyperexp)")
+	flag.StringVar(&rep.family, "repair-dist", "exp", "replacement service law: "+distFamilies)
+	flag.Float64Var(&rep.shape, "repair-shape", 1.2, "service shape (weibull, gamma)")
+	flag.Float64Var(&rep.sigma, "repair-sigma", 1, "service log-space standard deviation (lognormal)")
+	flag.IntVar(&rep.stages, "repair-stages", 2, "service stage count (erlang)")
+	flag.StringVar(&rep.hyperW, "repair-hyper-weights", "0.5,0.5", "service branch weights (hyperexp)")
+	flag.StringVar(&rep.hyperR, "repair-hyper-rates", "", "service branch rates 1/h (hyperexp)")
 	flag.Parse()
 
 	// The distribution constructors treat non-positive rates as
@@ -60,7 +183,6 @@ func main() {
 
 	p := sim.ArrayParams{
 		Disks:           *disks,
-		Repair:          dist.NewExponential(*muDF),
 		TapeRestore:     dist.NewExponential(*muDDF),
 		HERecovery:      dist.NewExponential(*muHE),
 		HEP:             *hep,
@@ -69,24 +191,22 @@ func main() {
 		SpareRebuild:    dist.NewExponential(*muS),
 		SpareSwap:       dist.NewExponential(*muCH),
 	}
-	switch *distKind {
-	case "exp":
-		p.TTF = dist.NewExponential(*lambda)
-	case "weibull":
-		if !(*shape > 0) || math.IsInf(*shape, 0) {
-			exitOn(fmt.Errorf("-shape must be a positive finite value, got %v", *shape))
-		}
-		p.TTF = dist.WeibullFromMeanRate(*lambda, *shape)
-	default:
-		exitOn(fmt.Errorf("unknown -dist %q (want exp or weibull)", *distKind))
+	var err error
+	if p.TTF, err = ttf.build(*lambda); err != nil {
+		exitOn(err)
+	}
+	if p.Repair, err = rep.build(*muDF); err != nil {
+		exitOn(err)
 	}
 	switch *policy {
 	case "conventional":
 		p.Policy = sim.Conventional
 	case "failover":
 		p.Policy = sim.AutoFailover
+	case "dualparity":
+		p.Policy = sim.DualParity
 	default:
-		exitOn(fmt.Errorf("unknown -policy %q (want conventional or failover)", *policy))
+		exitOn(fmt.Errorf("unknown -policy %q (want conventional, failover or dualparity)", *policy))
 	}
 
 	s, err := sim.Run(p, sim.Options{
@@ -99,8 +219,8 @@ func main() {
 	exitOn(err)
 
 	t := report.NewTable(
-		fmt.Sprintf("Monte-Carlo availability, %d-disk array, %s policy, TTF %s",
-			*disks, p.Policy, p.TTF),
+		fmt.Sprintf("Monte-Carlo availability, %d-disk array, %s policy, TTF %s, service %s",
+			*disks, p.Policy, p.TTF, p.Repair),
 		"metric", "value")
 	t.AddRow("availability", fmt.Sprintf("%.12f", s.Availability))
 	t.AddRow("nines", report.F3(s.Nines))

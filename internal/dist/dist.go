@@ -2,10 +2,40 @@
 // availability study samples lifetimes and service durations from:
 // the input side of every Monte-Carlo experiment in the repository.
 //
-// All laws model a non-negative random duration in hours and are
-// sampled by inverse-CDF transformation of uniforms drawn from an
-// *xrand.Source, so a replayed stream reproduces the exact sample
-// sequence (the foundation of the repro harness's determinism).
+// All laws model a non-negative random duration in hours, sampled
+// from an *xrand.Source. Replaying a stream from its (seed, stream)
+// pair reproduces the exact sample sequence — the foundation of the
+// repro harness's determinism.
+//
+// # Fast-path contract
+//
+// Two sampling paths coexist, and hot loops are free to mix them:
+//
+//   - Sample draws one variate. Uniform, Deterministic, Lognormal and
+//     Gamma consume a fixed number of uniforms per draw (Gamma
+//     inverts its CDF numerically from a single uniform for exactly
+//     this reason); Exponential and Weibull draw their exponential
+//     variate from the stream's ziggurat sampler, which consumes a
+//     variable number of generator outputs per draw. Where exactly
+//     one uniform per variate matters, use Quantile(r.OpenFloat64()).
+//   - SampleN (the BatchSampler interface) fills a slice and may use a
+//     different, faster exact algorithm: Gamma switches to
+//     Marsaglia-Tsang squeeze-rejection off constants cached by the
+//     constructors, Lognormal to pair-consuming polar-method normals,
+//     and every family hoists per-draw constants out of the loop.
+//
+// Both paths draw from the identical law; only the mapping from
+// stream positions to variates differs. Determinism is therefore
+// guaranteed per call sequence — the same sequence of Sample/SampleN
+// calls on the same stream yields bit-identical results — but a
+// SampleN call is not interchangeable with N Sample calls when exact
+// replay matters. FastExp exposes the exponential rate for callers
+// that devirtualize the inner draw entirely (see internal/sim).
+//
+// Constructors precompute per-instance constants (Weibull's 1/k,
+// Gamma's Marsaglia-Tsang d and c plus Wilson-Hilferty starting
+// points); laws built as composite literals still work and re-derive
+// those constants on the fly.
 //
 // # Families and parameterizations
 //

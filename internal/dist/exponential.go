@@ -23,9 +23,21 @@ func NewExponential(rate float64) Exponential {
 	return Exponential{Rate: rate}
 }
 
-// Sample draws by inverse CDF: -ln(U)/Rate with U uniform in (0, 1).
+// Sample draws a rate-1 exponential from the stream's ziggurat
+// sampler and rescales by Rate. Stream consumption per draw is
+// variable (see xrand.Source.ExpFloat64); use an inverse-CDF draw via
+// Quantile(r.OpenFloat64()) where exactly one uniform per variate
+// matters.
 func (e Exponential) Sample(r *xrand.Source) float64 {
 	return r.ExpFloat64() / e.Rate
+}
+
+// SampleN fills dst with independent draws, consuming the stream
+// exactly as len(dst) Sample calls would.
+func (e Exponential) SampleN(r *xrand.Source, dst []float64) {
+	for i := range dst {
+		dst[i] = r.ExpFloat64() / e.Rate
+	}
 }
 
 // Mean returns 1/Rate.

@@ -1,0 +1,40 @@
+package dist
+
+import "herald/internal/xrand"
+
+// BatchSampler is implemented by laws that can fill a slice of
+// variates more cheaply than repeated Sample calls: per-draw constants
+// are hoisted out of the loop and families with expensive inverse CDFs
+// (Gamma, Lognormal) switch to fast exact algorithms (Marsaglia-Tsang
+// rejection, polar normals).
+//
+// SampleN draws len(dst) independent variates of the same law as
+// Sample. It is NOT guaranteed to consume the stream identically to
+// repeated Sample calls, nor to produce the same values — only the
+// distribution is preserved. Replay determinism holds at the stream
+// level: the same calls against the same (seed, stream) reproduce the
+// same values.
+type BatchSampler interface {
+	SampleN(r *xrand.Source, dst []float64)
+}
+
+// Every family ships the batch fast path.
+var _ = []BatchSampler{
+	Exponential{}, Deterministic{}, Uniform{},
+	Weibull{}, Lognormal{}, Gamma{}, Mixture{},
+}
+
+// FastExp reports whether d is an exponential law and returns its
+// rate. Callers on hot paths use it to devirtualize sampling: a
+// positive rate means every draw is r.ExpFloat64()/rate inline, with
+// no interface dispatch. This is the common case for the paper's
+// experiments, where all services are exponential.
+func FastExp(d Distribution) (rate float64, ok bool) {
+	switch e := d.(type) {
+	case Exponential:
+		return e.Rate, true
+	case *Exponential:
+		return e.Rate, true
+	}
+	return 0, false
+}

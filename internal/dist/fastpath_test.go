@@ -1,0 +1,209 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"herald/internal/xrand"
+)
+
+// batchMoments draws n variates through SampleN in chunks and returns
+// the empirical mean and variance.
+func batchMoments(d BatchSampler, seed uint64, n, chunk int) (mean, varc float64) {
+	r := xrand.NewStream(seed, 0)
+	buf := make([]float64, chunk)
+	sum, sumSq := 0.0, 0.0
+	drawn := 0
+	for drawn < n {
+		k := chunk
+		if n-drawn < k {
+			k = n - drawn
+		}
+		d.SampleN(r, buf[:k])
+		for _, v := range buf[:k] {
+			sum += v
+			sumSq += v * v
+		}
+		drawn += k
+	}
+	mean = sum / float64(n)
+	varc = sumSq/float64(n) - mean*mean
+	return mean, varc
+}
+
+// TestSampleNMomentsEveryFamily checks that the batch fast path of
+// every family reproduces the analytic mean and variance, i.e. that
+// the specialized algorithms (Marsaglia-Tsang, polar normals, hoisted
+// constants) draw from the same law as Sample.
+func TestSampleNMomentsEveryFamily(t *testing.T) {
+	cases := []struct {
+		name string
+		d    interface {
+			Distribution
+			BatchSampler
+		}
+	}{
+		{"exponential", NewExponential(0.25)},
+		{"deterministic", NewDeterministic(3.5)},
+		{"uniform", NewUniform(2, 10)},
+		{"weibull-wearout", NewWeibull(1.48, 200)},
+		{"weibull-infant", NewWeibull(0.7, 50)},
+		{"lognormal", NewLognormal(1.2, 0.8)},
+		{"gamma-int", NewGamma(3, 0.5)},
+		{"gamma-frac", NewGamma(2.6, 4)},
+		{"gamma-small-shape", NewGamma(0.4, 2)},
+		{"erlang", NewErlang(4, 0.1)},
+		{"hyperexp", NewHyperExponential([]float64{0.7, 0.3}, []float64{2, 0.1})},
+	}
+	const n = 300000
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mean, varc := batchMoments(c.d, 1000, n, 101)
+			wm, wv := c.d.Mean(), c.d.Var()
+			// 6-sigma tolerance on the mean estimator, floored for the
+			// deterministic law; variance gets a looser relative band.
+			tolM := 6*math.Sqrt(wv/n) + 1e-12
+			if math.Abs(mean-wm) > tolM {
+				t.Errorf("SampleN mean = %v, analytic %v (tol %v)", mean, wm, tolM)
+			}
+			if wv > 0 && math.Abs(varc-wv) > 0.05*wv {
+				t.Errorf("SampleN variance = %v, analytic %v", varc, wv)
+			}
+		})
+	}
+}
+
+// TestSampleNAgreesWithSample cross-checks the two sampling paths of
+// the families whose batch algorithm differs from Sample: their
+// empirical CDFs at fixed probes must agree.
+func TestSampleNAgreesWithSample(t *testing.T) {
+	cases := []struct {
+		name string
+		d    interface {
+			Distribution
+			BatchSampler
+		}
+	}{
+		{"gamma", NewGamma(2.6, 4)},
+		{"gamma-small", NewGamma(0.4, 2)},
+		{"lognormal", NewLognormal(1.2, 0.8)},
+	}
+	const n = 200000
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rb := xrand.NewStream(7, 1)
+			rs := xrand.NewStream(7, 2)
+			batch := make([]float64, n)
+			c.d.SampleN(rb, batch)
+			probes := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+			for _, p := range probes {
+				q := c.d.Quantile(p)
+				nb := 0
+				for _, v := range batch {
+					if v <= q {
+						nb++
+					}
+				}
+				ns := 0
+				for i := 0; i < n; i++ {
+					if c.d.Sample(rs) <= q {
+						ns++
+					}
+				}
+				fb, fs := float64(nb)/n, float64(ns)/n
+				if math.Abs(fb-p) > 0.01 {
+					t.Errorf("batch P(X<=q%.2f) = %v", p, fb)
+				}
+				if math.Abs(fb-fs) > 0.01 {
+					t.Errorf("batch vs sample at p=%.2f: %v vs %v", p, fb, fs)
+				}
+			}
+		})
+	}
+}
+
+// TestSampleNLiteralStructs exercises the zero-cache fallback: laws
+// built as composite literals (no constructor) must still batch-sample
+// correctly.
+func TestSampleNLiteralStructs(t *testing.T) {
+	const n = 200000
+	w := Weibull{Shape: 2, Scale: 10}
+	mean, _ := batchMoments(w, 5, n, 64)
+	if want := w.Mean(); math.Abs(mean-want) > 0.05*want {
+		t.Errorf("literal Weibull batch mean = %v, want %v", mean, want)
+	}
+	g := Gamma{Shape: 2, Rate: 0.5}
+	mean, _ = batchMoments(g, 6, n, 64)
+	if want := g.Mean(); math.Abs(mean-want) > 0.05*want {
+		t.Errorf("literal Gamma batch mean = %v, want %v", mean, want)
+	}
+	if q := g.Quantile(0.5); math.Abs(g.CDF(q)-0.5) > 1e-9 {
+		t.Errorf("literal Gamma quantile round-trip: CDF(Q(0.5)) = %v", g.CDF(q))
+	}
+}
+
+func TestFastExp(t *testing.T) {
+	if rate, ok := FastExp(NewExponential(2.5)); !ok || rate != 2.5 {
+		t.Errorf("FastExp(Exponential) = %v, %v", rate, ok)
+	}
+	e := NewExponential(0.1)
+	if rate, ok := FastExp(&e); !ok || rate != 0.1 {
+		t.Errorf("FastExp(*Exponential) = %v, %v", rate, ok)
+	}
+	for _, d := range []Distribution{
+		NewWeibull(1, 10), NewDeterministic(1), NewGamma(1, 1),
+		NewHyperExponential([]float64{1}, []float64{2}),
+	} {
+		if rate, ok := FastExp(d); ok {
+			t.Errorf("FastExp(%s) unexpectedly ok with rate %v", d, rate)
+		}
+	}
+}
+
+// TestSampleNEmptyAndSingle guards the batch path's slice handling.
+func TestSampleNEmptyAndSingle(t *testing.T) {
+	r := xrand.NewStream(1, 0)
+	for _, d := range []BatchSampler{
+		NewExponential(1), NewGamma(0.5, 1), NewLognormal(0, 1),
+		NewWeibull(2, 1), NewUniform(0, 1), NewDeterministic(2),
+		NewHyperExponential([]float64{0.5, 0.5}, []float64{1, 10}),
+	} {
+		d.SampleN(r, nil)
+		one := make([]float64, 1)
+		d.SampleN(r, one)
+		if one[0] < 0 || math.IsNaN(one[0]) {
+			t.Errorf("%v single-element batch drew %v", d, one[0])
+		}
+	}
+}
+
+func BenchmarkSampleNExponential(b *testing.B) {
+	d := NewExponential(0.1)
+	r := xrand.New(1)
+	dst := make([]float64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.SampleN(r, dst)
+	}
+}
+
+func BenchmarkSampleNGammaBatch(b *testing.B) {
+	d := NewGamma(2.6, 4)
+	r := xrand.New(1)
+	dst := make([]float64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.SampleN(r, dst)
+	}
+}
+
+func BenchmarkSampleGammaOneAtATime(b *testing.B) {
+	d := NewGamma(2.6, 4)
+	r := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 256; j++ {
+			_ = d.Sample(r)
+		}
+	}
+}

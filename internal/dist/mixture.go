@@ -88,6 +88,16 @@ func (m Mixture) Sample(r *xrand.Source) float64 {
 	return m.Components[k].Sample(r)
 }
 
+// SampleN fills dst with independent draws. Each draw selects its
+// branch independently, matching Sample's stream consumption; branch
+// laws that implement BatchSampler are still sampled one at a time
+// because the branch sequence is itself random.
+func (m Mixture) SampleN(r *xrand.Source, dst []float64) {
+	for i := range dst {
+		dst[i] = m.Sample(r)
+	}
+}
+
 // Mean returns the weighted component mean.
 func (m Mixture) Mean() float64 {
 	s := 0.0

@@ -18,6 +18,10 @@ type Weibull struct {
 	// Scale is the characteristic life c (hours): the 63.2th
 	// percentile of the law.
 	Scale float64
+	// invShape caches 1/Shape for the batch fast path; constructors
+	// fill it, literal structs leave it zero and fall back to the
+	// division.
+	invShape float64
 }
 
 // NewWeibull returns the Weibull law with the given shape and scale
@@ -25,7 +29,7 @@ type Weibull struct {
 func NewWeibull(shape, scale float64) Weibull {
 	checkPositive("weibull", "shape", shape)
 	checkPositive("weibull", "scale", scale)
-	return Weibull{Shape: shape, Scale: scale}
+	return Weibull{Shape: shape, Scale: scale, invShape: 1 / shape}
 }
 
 // WeibullFromMeanRate returns the Weibull law with the given shape
@@ -35,13 +39,26 @@ func NewWeibull(shape, scale float64) Weibull {
 func WeibullFromMeanRate(rate, shape float64) Weibull {
 	checkPositive("weibull", "rate", rate)
 	checkPositive("weibull", "shape", shape)
-	return Weibull{Shape: shape, Scale: 1 / (rate * math.Gamma(1+1/shape))}
+	return Weibull{Shape: shape, Scale: 1 / (rate * math.Gamma(1+1/shape)), invShape: 1 / shape}
 }
 
-// Sample draws by inverse CDF: Scale * E^(1/Shape) with E standard
-// exponential.
+// Sample draws Scale * E^(1/Shape) with E a standard exponential from
+// the stream's ziggurat sampler (variable stream consumption per
+// draw, like Exponential.Sample).
 func (w Weibull) Sample(r *xrand.Source) float64 {
 	return w.Scale * math.Pow(r.ExpFloat64(), 1/w.Shape)
+}
+
+// SampleN fills dst with independent draws, hoisting the 1/Shape
+// exponent out of the loop.
+func (w Weibull) SampleN(r *xrand.Source, dst []float64) {
+	k := w.invShape
+	if k == 0 {
+		k = 1 / w.Shape
+	}
+	for i := range dst {
+		dst[i] = w.Scale * math.Pow(r.ExpFloat64(), k)
+	}
 }
 
 // Mean returns Scale * Gamma(1 + 1/Shape).

@@ -1,12 +1,8 @@
 package sim
 
-import (
-	"math"
+import "math"
 
-	"herald/internal/xrand"
-)
-
-// simulateConventional walks one array lifetime under the conventional
+// conventional walks one array lifetime under the conventional
 // replacement policy (paper Fig. 1 / Fig. 2 structure):
 //
 //	OK --disk failure--> EXPOSED --second failure--> DATA LOSS
@@ -18,18 +14,38 @@ import (
 //	DU --another member fails--> DATA LOSS   (MC-only refinement)
 //
 // The EXPOSED state is degraded but up; DU and DATA LOSS are down.
-func simulateConventional(p *ArrayParams, r *xrand.Source, mission float64) iterStats {
+func (sc *scratch) conventional(mission float64) iterStats {
+	p, r := sc.p, &sc.src
 	n := p.Disks
-	fail := make([]float64, n)
-	for i := range fail {
-		fail[i] = p.TTF.Sample(r)
-	}
+	fail := sc.fail
+	sc.ttf.sampleN(r, fail)
 	var st iterStats
 	t := 0.0
 
+	// The repair and TTF draws run once per failure event; their
+	// exponential fast path is expanded inline here because the
+	// sampler method cannot be inlined (two calls exceed the budget).
+	repairInv := sc.repair.invRate
+	ttfInv := sc.ttf.invRate
+
 	for t < mission {
 		// All members nominally present; wait for the first failure.
-		fi, tFail := nextFailure(fail, t, noDisk, noDisk)
+		// One scan yields both the failing member and the runner-up
+		// clock the exposed-state race needs; expired clocks fire at
+		// the current time, matching nextFailure's clamp.
+		var fi, si int
+		var tFail, tSecond float64
+		if n == 4 {
+			fi, tFail, si, tSecond = twoMin4(fail)
+		} else {
+			fi, tFail, si, tSecond = twoMin(fail)
+		}
+		if tFail < t {
+			tFail = t
+		}
+		if tSecond < tFail {
+			tSecond = tFail
+		}
 		if tFail >= mission {
 			break
 		}
@@ -37,8 +53,13 @@ func simulateConventional(p *ArrayParams, r *xrand.Source, mission float64) iter
 		t = tFail
 
 		// Exposed: replacement service races a second member failure.
-		repairEnd := t + p.Repair.Sample(r)
-		si, tSecond := nextFailure(fail, t, fi, noDisk)
+		var svc float64
+		if repairInv > 0 {
+			svc = r.ExpFloat64() * repairInv
+		} else {
+			svc = sc.repair.sampleSlow(r)
+		}
+		repairEnd := t + svc
 		if tSecond < repairEnd {
 			if tSecond >= mission {
 				break // exposed is up; mission ends first
@@ -46,16 +67,20 @@ func simulateConventional(p *ArrayParams, r *xrand.Source, mission float64) iter
 			// Double disk failure: data loss, restore from backup.
 			st.events.Failures++
 			st.events.DoubleFailures++
-			t = dataLoss(p, r, &st, tSecond, mission, fail, fi, si)
+			t = sc.dataLoss(&st, tSecond, mission, fi, si)
 			continue
 		}
 		if repairEnd >= mission {
 			break
 		}
 		t = repairEnd
-		if !r.Bernoulli(p.HEP) {
+		if !sc.hepTrial(r) {
 			// Correct replacement: the failed member is fresh.
-			fail[fi] = t + p.TTF.Sample(r)
+			if ttfInv > 0 {
+				fail[fi] = t + r.ExpFloat64()*ttfInv
+			} else {
+				fail[fi] = t + sc.ttf.sampleSlow(r)
+			}
 			continue
 		}
 
@@ -68,7 +93,7 @@ func simulateConventional(p *ArrayParams, r *xrand.Source, mission float64) iter
 		cur := t
 		resolved := false
 		for !resolved {
-			attemptEnd := cur + p.HERecovery.Sample(r)
+			attemptEnd := cur + sc.herec.sample(r)
 			crashAt := cur + expSample(r, p.CrashRate)
 			oi, tOther := nextFailure(fail, cur, fi, pi)
 			next := math.Min(attemptEnd, math.Min(crashAt, tOther))
@@ -84,17 +109,17 @@ func simulateConventional(p *ArrayParams, r *xrand.Source, mission float64) iter
 				st.events.Failures++
 				st.events.DoubleFailures++
 				st.downDU += tOther - duStart
-				t = dataLoss(p, r, &st, tOther, mission, fail, fi, oi)
+				t = sc.dataLoss(&st, tOther, mission, fi, oi)
 				resolved = true
 			case crashAt:
 				// The wrongly removed disk crashed while out.
 				st.events.Crashes++
 				st.downDU += crashAt - duStart
-				t = dataLoss(p, r, &st, crashAt, mission, fail, fi, pi)
+				t = sc.dataLoss(&st, crashAt, mission, fi, pi)
 				resolved = true
 			default:
 				st.events.UndoAttempts++
-				if r.Bernoulli(p.HEP) {
+				if sc.hepTrial(r) {
 					// The undo itself went wrong; array stays DU.
 					st.events.HumanErrors++
 					cur = attemptEnd
@@ -106,10 +131,10 @@ func simulateConventional(p *ArrayParams, r *xrand.Source, mission float64) iter
 				// backup before coming back up.
 				end := attemptEnd
 				if p.ResyncAfterUndo {
-					end += p.TapeRestore.Sample(r)
+					end += sc.tape.sample(r)
 				}
 				st.downDU += math.Min(end, mission) - duStart
-				fail[fi] = end + p.TTF.Sample(r)
+				fail[fi] = end + sc.ttf.sample(r)
 				t = end
 				resolved = true
 			}
@@ -121,15 +146,16 @@ func simulateConventional(p *ArrayParams, r *xrand.Source, mission float64) iter
 // dataLoss accounts a data-loss interval starting at start, restores
 // from backup, refreshes the two lost members, and returns the time
 // the array is operational again (clipped at mission end).
-func dataLoss(p *ArrayParams, r *xrand.Source, st *iterStats, start, mission float64, fail []float64, d1, d2 int) float64 {
-	restoreEnd := start + p.TapeRestore.Sample(r)
+func (sc *scratch) dataLoss(st *iterStats, start, mission float64, d1, d2 int) float64 {
+	r := &sc.src
+	restoreEnd := start + sc.tape.sample(r)
 	end := math.Min(restoreEnd, mission)
 	st.downDL += end - start
 	if d1 != noDisk {
-		fail[d1] = restoreEnd + p.TTF.Sample(r)
+		sc.fail[d1] = restoreEnd + sc.ttf.sample(r)
 	}
 	if d2 != noDisk {
-		fail[d2] = restoreEnd + p.TTF.Sample(r)
+		sc.fail[d2] = restoreEnd + sc.ttf.sample(r)
 	}
 	return restoreEnd
 }

@@ -1,12 +1,8 @@
 package sim
 
-import (
-	"math"
+import "math"
 
-	"herald/internal/xrand"
-)
-
-// simulateDualParity walks one array lifetime for a dual-parity
+// dualParity walks one array lifetime for a dual-parity
 // (RAID6-style) array under conventional replacement, mirroring
 // model.DualParityChain:
 //
@@ -21,12 +17,11 @@ import (
 //
 // Repair services restore one member at a time (rate muDF each), as in
 // the analytic chain.
-func simulateDualParity(p *ArrayParams, r *xrand.Source, mission float64) iterStats {
+func (sc *scratch) dualParity(mission float64) iterStats {
+	p, r := sc.p, &sc.src
 	n := p.Disks
-	fail := make([]float64, n)
-	for i := range fail {
-		fail[i] = p.TTF.Sample(r)
-	}
+	fail := sc.fail
+	sc.ttf.sampleN(r, fail)
 	var st iterStats
 	t := 0.0
 	// missing tracks the indices currently failed or wrongly pulled
@@ -46,7 +41,7 @@ func simulateDualParity(p *ArrayParams, r *xrand.Source, mission float64) iterSt
 
 		case down2 == noDisk:
 			// Exposed-1: repair service races a second failure.
-			svcEnd := t + p.Repair.Sample(r)
+			svcEnd := t + sc.repair.sample(r)
 			si, tSecond := nextFailure(fail, t, down1, noDisk)
 			if math.Min(svcEnd, tSecond) >= mission {
 				return st
@@ -57,8 +52,8 @@ func simulateDualParity(p *ArrayParams, r *xrand.Source, mission float64) iterSt
 				continue
 			}
 			t = svcEnd
-			if !r.Bernoulli(p.HEP) {
-				fail[down1] = t + p.TTF.Sample(r)
+			if !sc.hepTrial(r) {
+				fail[down1] = t + sc.ttf.sample(r)
 				down1 = noDisk
 				continue
 			}
@@ -70,7 +65,7 @@ func simulateDualParity(p *ArrayParams, r *xrand.Source, mission float64) iterSt
 		default:
 			// Exposed-2 (up, critical): repair service races a third
 			// loss.
-			svcEnd := t + p.Repair.Sample(r)
+			svcEnd := t + sc.repair.sample(r)
 			oi, tThird := nextFailure(fail, t, down1, down2)
 			if math.Min(svcEnd, tThird) >= mission {
 				return st
@@ -79,15 +74,15 @@ func simulateDualParity(p *ArrayParams, r *xrand.Source, mission float64) iterSt
 				// Third concurrent loss: data gone.
 				st.events.Failures++
 				st.events.DoubleFailures++
-				t = dataLoss(p, r, &st, tThird, mission, fail, down1, down2)
-				fail[oi] = t + p.TTF.Sample(r)
+				t = sc.dataLoss(&st, tThird, mission, down1, down2)
+				fail[oi] = t + sc.ttf.sample(r)
 				down1, down2 = noDisk, noDisk
 				continue
 			}
 			t = svcEnd
-			if !r.Bernoulli(p.HEP) {
+			if !sc.hepTrial(r) {
 				// One member repaired; back to exposed-1.
-				fail[down1] = t + p.TTF.Sample(r)
+				fail[down1] = t + sc.ttf.sample(r)
 				down1, down2 = down2, noDisk
 				continue
 			}
@@ -98,7 +93,7 @@ func simulateDualParity(p *ArrayParams, r *xrand.Source, mission float64) iterSt
 			duStart := t
 			cur := t
 			for {
-				attemptEnd := cur + p.HERecovery.Sample(r)
+				attemptEnd := cur + sc.herec.sample(r)
 				crashAt := cur + expSample(r, p.CrashRate)
 				xi, tOther := nextFailure3(fail, cur, down1, down2, pulled)
 				next := math.Min(attemptEnd, math.Min(crashAt, tOther))
@@ -111,22 +106,22 @@ func simulateDualParity(p *ArrayParams, r *xrand.Source, mission float64) iterSt
 					st.events.Failures++
 					st.events.DoubleFailures++
 					st.downDU += tOther - duStart
-					t = dataLoss(p, r, &st, tOther, mission, fail, down1, down2)
-					fail[pulled] = t + p.TTF.Sample(r)
-					fail[xi] = t + p.TTF.Sample(r)
+					t = sc.dataLoss(&st, tOther, mission, down1, down2)
+					fail[pulled] = t + sc.ttf.sample(r)
+					fail[xi] = t + sc.ttf.sample(r)
 					down1, down2 = noDisk, noDisk
 					break
 				}
 				if crashAt == next {
 					st.events.Crashes++
 					st.downDU += crashAt - duStart
-					t = dataLoss(p, r, &st, crashAt, mission, fail, down1, down2)
-					fail[pulled] = t + p.TTF.Sample(r)
+					t = sc.dataLoss(&st, crashAt, mission, down1, down2)
+					fail[pulled] = t + sc.ttf.sample(r)
 					down1, down2 = noDisk, noDisk
 					break
 				}
 				st.events.UndoAttempts++
-				if r.Bernoulli(p.HEP) {
+				if sc.hepTrial(r) {
 					st.events.HumanErrors++
 					cur = attemptEnd
 					continue
@@ -136,10 +131,10 @@ func simulateDualParity(p *ArrayParams, r *xrand.Source, mission float64) iterSt
 				// unless the resync policy restores everything.
 				end := attemptEnd
 				if p.ResyncAfterUndo {
-					end += p.TapeRestore.Sample(r)
+					end += sc.tape.sample(r)
 					st.downDU += math.Min(end, mission) - duStart
-					fail[down1] = end + p.TTF.Sample(r)
-					fail[down2] = end + p.TTF.Sample(r)
+					fail[down1] = end + sc.ttf.sample(r)
+					fail[down2] = end + sc.ttf.sample(r)
 					down1, down2 = noDisk, noDisk
 				} else {
 					st.downDU += attemptEnd - duStart

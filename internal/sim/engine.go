@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+
+	"herald/internal/dist"
+	"herald/internal/xrand"
+)
+
+// sampler caches the devirtualized fast path for one distribution,
+// resolved once per worker instead of per draw: exponential laws
+// (rate > 0) are drawn inline via r.ExpFloat64()/rate with no
+// interface dispatch, and laws implementing dist.BatchSampler fill
+// slices through their batch algorithm.
+type sampler struct {
+	d     dist.Distribution
+	batch dist.BatchSampler
+	// rate > 0 marks an exponential law; invRate caches 1/rate so the
+	// hot path multiplies instead of divides (the values differ from
+	// Exponential.Sample in the last ulp, which the stream-level
+	// determinism contract permits).
+	rate    float64
+	invRate float64
+}
+
+func newSampler(d dist.Distribution) sampler {
+	sp := sampler{d: d}
+	if d == nil {
+		return sp
+	}
+	if rate, ok := dist.FastExp(d); ok {
+		sp.rate = rate
+		sp.invRate = 1 / rate
+	}
+	if b, ok := d.(dist.BatchSampler); ok {
+		sp.batch = b
+	}
+	return sp
+}
+
+// sample draws one variate: inline exponential draws when the law
+// allows it, one interface dispatch otherwise.
+func (sp *sampler) sample(r *xrand.Source) float64 {
+	if sp.rate > 0 {
+		return r.ExpFloat64() * sp.invRate
+	}
+	return sp.sampleSlow(r)
+}
+
+func (sp *sampler) sampleSlow(r *xrand.Source) float64 { return sp.d.Sample(r) }
+
+// sampleN fills dst with independent draws.
+func (sp *sampler) sampleN(r *xrand.Source, dst []float64) {
+	if sp.rate > 0 {
+		for i := range dst {
+			dst[i] = r.ExpFloat64() * sp.invRate
+		}
+		return
+	}
+	if sp.batch != nil {
+		sp.batch.SampleN(r, dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = sp.d.Sample(r)
+	}
+}
+
+// scratch is one worker's reusable simulation state: the failure-clock
+// slice, an in-place reseedable stream, and the resolved samplers.
+// Allocated once per worker, it makes the per-iteration hot loop
+// allocation-free (pinned by TestHotLoopZeroAllocs).
+type scratch struct {
+	p    *ArrayParams
+	src  xrand.Source
+	fail []float64
+
+	// hepGap counts the human-error Bernoulli(HEP) trials remaining
+	// before the next error fires (geometric skip sampling: one log
+	// draw per error instead of one uniform per trial). -1 means not
+	// drawn yet; iterate resets it so iterations stay independent.
+	hepGap int
+
+	ttf, repair, tape, herec, rebuild, swap sampler
+}
+
+func newScratch(p *ArrayParams) *scratch {
+	return &scratch{
+		p:       p,
+		fail:    make([]float64, p.Disks),
+		ttf:     newSampler(p.TTF),
+		repair:  newSampler(p.Repair),
+		tape:    newSampler(p.TapeRestore),
+		herec:   newSampler(p.HERecovery),
+		rebuild: newSampler(p.SpareRebuild),
+		swap:    newSampler(p.SpareSwap),
+	}
+}
+
+// iterate walks one array lifetime for iteration index it. Each
+// iteration reseeds the stream in place from (seed, it) and resets the
+// skip counter, so the draw sequence of an iteration depends only on
+// the master seed and the iteration index — never on which worker ran
+// it or how iterations were scheduled.
+func (sc *scratch) iterate(seed uint64, it int, mission float64) iterStats {
+	sc.src.SeedStream(seed, uint64(it))
+	sc.hepGap = -1
+	switch sc.p.Policy {
+	case AutoFailover:
+		return sc.failover(mission)
+	case DualParity:
+		return sc.dualParity(mission)
+	default:
+		return sc.conventional(mission)
+	}
+}
+
+// hepTrial reports whether the next human-error opportunity turns into
+// an error. The trials are iid Bernoulli(HEP), realized by geometric
+// gap sampling: the number of error-free trials before the next error
+// is drawn once (floor(ln U / ln(1-hep))) and then counted down, which
+// replaces one uniform per service with one logarithm per error.
+func (sc *scratch) hepTrial(r *xrand.Source) bool {
+	if sc.hepGap < 0 {
+		sc.hepGap = sc.drawHEPGap(r)
+	}
+	if sc.hepGap == 0 {
+		sc.hepGap = -1 // error fires; redraw before the next trial
+		return true
+	}
+	sc.hepGap--
+	return false
+}
+
+// drawHEPGap draws the geometric number of error-free trials before
+// the next human error. HEP 0 never errs (the counter never runs out
+// within a mission), HEP 1 always errs; neither consumes randomness,
+// matching Bernoulli's edge behavior.
+func (sc *scratch) drawHEPGap(r *xrand.Source) int {
+	hep := sc.p.HEP
+	if hep <= 0 {
+		return math.MaxInt
+	}
+	if hep >= 1 {
+		return 0
+	}
+	return int(math.Log(r.OpenFloat64()) / math.Log1p(-hep))
+}

@@ -1,10 +1,6 @@
 package sim
 
-import (
-	"math"
-
-	"herald/internal/xrand"
-)
+import "math"
 
 // foPhase enumerates the automatic fail-over state machine phases,
 // mirroring the paper's Fig. 3 states (the with-spare unavailable
@@ -23,17 +19,16 @@ const (
 	phDUns2                 // 2 pulled: unavailable
 )
 
-// simulateFailover walks one array lifetime under the automatic
+// failover walks one array lifetime under the automatic
 // fail-over (delayed replacement) policy: the hot spare absorbs a
 // failure with no human involvement; the technician only touches the
 // array to replenish the spare (OPns) or when no spare is left
 // (EXPns1), which is where human error opportunities live.
-func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStats {
+func (sc *scratch) failover(mission float64) iterStats {
+	p, r := sc.p, &sc.src
 	n := p.Disks
-	fail := make([]float64, n)
-	for i := range fail {
-		fail[i] = p.TTF.Sample(r)
-	}
+	fail := sc.fail
+	sc.ttf.sampleN(r, fail)
 	var st iterStats
 	t := 0.0
 	phase := phOP
@@ -53,7 +48,7 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 
 		case phEXP1:
 			// On-line rebuild onto the hot spare; no human involved.
-			rebEnd := t + p.SpareRebuild.Sample(r)
+			rebEnd := t + sc.rebuild.sample(r)
 			si, tSecond := nextFailure(fail, t, fi, noDisk)
 			if math.Min(rebEnd, tSecond) >= mission {
 				return st // exposed but up
@@ -61,20 +56,20 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 			if tSecond < rebEnd {
 				st.events.Failures++
 				st.events.DoubleFailures++
-				t = dataLoss(p, r, &st, tSecond, mission, fail, fi, si)
+				t = sc.dataLoss(&st, tSecond, mission, fi, si)
 				// Restore rebuilds the full configuration, spare
 				// included (Fig. 3: DL --muDDF--> OP).
 				fi, phase = noDisk, phOP
 				continue
 			}
 			// Spare now carries the failed member's data.
-			fail[fi] = rebEnd + p.TTF.Sample(r)
+			fail[fi] = rebEnd + sc.ttf.sample(r)
 			fi, t, phase = noDisk, rebEnd, phOPns
 
 		case phOPns:
 			// Technician replenishes the spare slot; a wrong pull here
 			// hits a fully redundant array (degraded, still up).
-			swapEnd := t + p.SpareSwap.Sample(r)
+			swapEnd := t + sc.swap.sample(r)
 			idx, tFail := nextFailure(fail, t, noDisk, noDisk)
 			if math.Min(swapEnd, tFail) >= mission {
 				return st
@@ -85,7 +80,7 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 				continue
 			}
 			t = swapEnd
-			if !r.Bernoulli(p.HEP) {
+			if !sc.hepTrial(r) {
 				phase = phOP // spare slot replenished
 				continue
 			}
@@ -96,7 +91,7 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 		case phEXPns1:
 			// Exposed with no spare: direct replace-and-rebuild
 			// service, racing a second member failure.
-			svcEnd := t + p.Repair.Sample(r)
+			svcEnd := t + sc.repair.sample(r)
 			si, tSecond := nextFailure(fail, t, fi, noDisk)
 			if math.Min(svcEnd, tSecond) >= mission {
 				return st
@@ -104,13 +99,13 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 			if tSecond < svcEnd {
 				st.events.Failures++
 				st.events.DoubleFailures++
-				t = dataLoss(p, r, &st, tSecond, mission, fail, fi, si)
+				t = sc.dataLoss(&st, tSecond, mission, fi, si)
 				fi, phase = noDisk, phOPns // DLns --muDDF--> OPns
 				continue
 			}
 			t = svcEnd
-			if !r.Bernoulli(p.HEP) {
-				fail[fi] = t + p.TTF.Sample(r)
+			if !sc.hepTrial(r) {
+				fail[fi] = t + sc.ttf.sample(r)
 				fi, phase = noDisk, phOPns
 				continue
 			}
@@ -120,7 +115,7 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 
 		case phEXPns2:
 			// A healthy member is out; data still available (n-1 of n).
-			attemptEnd := t + p.HERecovery.Sample(r)
+			attemptEnd := t + sc.herec.sample(r)
 			crashAt := t + expSample(r, p.CrashRate)
 			idx, tFail := nextFailure(fail, t, pi, noDisk)
 			next := math.Min(attemptEnd, math.Min(crashAt, tFail))
@@ -141,7 +136,7 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 			default:
 				st.events.UndoAttempts++
 				t = attemptEnd
-				if r.Bernoulli(p.HEP) {
+				if sc.hepTrial(r) {
 					// Second error pulls another healthy member.
 					st.events.HumanErrors++
 					pi2 = pickOther(r, n, pi, noDisk)
@@ -158,7 +153,7 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 			duStart := t
 			cur := t
 			for phase == phDUns1 {
-				attemptEnd := cur + p.HERecovery.Sample(r)
+				attemptEnd := cur + sc.herec.sample(r)
 				crashAt := cur + expSample(r, p.CrashRate)
 				oi, tOther := nextFailure(fail, cur, fi, pi)
 				next := math.Min(attemptEnd, math.Min(crashAt, tOther))
@@ -172,18 +167,18 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 					st.events.Failures++
 					st.events.DoubleFailures++
 					st.downDU += tOther - duStart
-					t = dataLoss(p, r, &st, tOther, mission, fail, fi, oi)
-					fail[pi] = t + p.TTF.Sample(r) // re-seated fresh by the restore service
+					t = sc.dataLoss(&st, tOther, mission, fi, oi)
+					fail[pi] = t + sc.ttf.sample(r) // re-seated fresh by the restore service
 					fi, pi, phase = noDisk, noDisk, phOPns
 				case crashAt:
 					// Pulled disk crashed: double loss, restore.
 					st.events.Crashes++
 					st.downDU += crashAt - duStart
-					t = dataLoss(p, r, &st, crashAt, mission, fail, fi, pi)
+					t = sc.dataLoss(&st, crashAt, mission, fi, pi)
 					fi, pi, phase = noDisk, noDisk, phOPns
 				default:
 					st.events.UndoAttempts++
-					if r.Bernoulli(p.HEP) {
+					if sc.hepTrial(r) {
 						st.events.HumanErrors++
 						cur = attemptEnd
 						continue
@@ -199,7 +194,7 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 			duStart := t
 			cur := t
 			for phase == phDUns2 {
-				attemptEnd := cur + p.HERecovery.Sample(r)
+				attemptEnd := cur + sc.herec.sample(r)
 				crashAt := cur + expSample(r, 2*p.CrashRate)
 				oi, tOther := nextFailure(fail, cur, pi, pi2)
 				next := math.Min(attemptEnd, math.Min(crashAt, tOther))
@@ -213,8 +208,8 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 					st.events.Failures++
 					st.events.DoubleFailures++
 					st.downDU += tOther - duStart
-					t = dataLoss(p, r, &st, tOther, mission, fail, oi, pi)
-					fail[pi2] = t + p.TTF.Sample(r)
+					t = sc.dataLoss(&st, tOther, mission, oi, pi)
+					fail[pi2] = t + sc.ttf.sample(r)
 					fi, pi, pi2, phase = noDisk, noDisk, noDisk, phOPns
 				case crashAt:
 					// One of the two pulled disks crashed.
@@ -225,7 +220,7 @@ func simulateFailover(p *ArrayParams, r *xrand.Source, mission float64) iterStat
 					t, phase = crashAt, phDUns1
 				default:
 					st.events.UndoAttempts++
-					if r.Bernoulli(p.HEP) {
+					if sc.hepTrial(r) {
 						st.events.HumanErrors++
 						cur = attemptEnd
 						continue

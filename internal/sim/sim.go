@@ -288,27 +288,35 @@ func Run(p ArrayParams, o Options) (Summary, error) {
 		events EventCounts
 		hist   *stats.Histogram
 	}
+	// Iterations are split into contiguous chunks — one per worker —
+	// instead of strided, so each worker walks a disjoint index range.
+	// Every iteration reseeds its stream from (Seed, iteration index),
+	// making the drawn lifetimes a pure function of the master seed,
+	// independent of the worker count or schedule. Workers accumulate
+	// into a goroutine-local batch and publish it once, so no cache
+	// line is shared while the loop runs.
+	chunk := (opts.Iterations + workers - 1) / workers
 	results := make([]batch, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > opts.Iterations {
+			hi = opts.Iterations
+		}
+		if lo >= hi {
+			continue
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			r := xrand.NewStream(opts.Seed, uint64(w))
-			b := &results[w]
+			sc := newScratch(&p)
+			var b batch
 			if opts.HistogramBins > 0 {
 				b.hist = stats.NewHistogram(0, histMax, opts.HistogramBins)
 			}
-			for it := w; it < opts.Iterations; it += workers {
-				var is iterStats
-				switch p.Policy {
-				case AutoFailover:
-					is = simulateFailover(&p, r, opts.MissionTime)
-				case DualParity:
-					is = simulateDualParity(&p, r, opts.MissionTime)
-				default:
-					is = simulateConventional(&p, r, opts.MissionTime)
-				}
+			for it := lo; it < hi; it++ {
+				is := sc.iterate(opts.Seed, it, opts.MissionTime)
 				down := is.downDU + is.downDL
 				b.acc.Add(1 - down/opts.MissionTime)
 				b.du.Add(is.downDU)
@@ -318,7 +326,8 @@ func Run(p ArrayParams, o Options) (Summary, error) {
 					b.hist.Add(down)
 				}
 			}
-		}(w)
+			results[w] = b
+		}(w, lo, hi)
 	}
 	wg.Wait()
 
@@ -384,6 +393,61 @@ func nextFailure(fail []float64, now float64, ex1, ex2 int) (int, float64) {
 		at = now
 	}
 	return idx, at
+}
+
+// twoMin returns the two earliest failure clocks in one scan: the
+// overall minimum (i1, t1) and the runner-up (i2, t2), first index
+// winning ties. Clamping expired clocks to "now" is left to the
+// caller, keeping the function inside the inlining budget — it runs
+// once per failure event in the conventional walker's hot loop,
+// replacing two successive nextFailure scans.
+func twoMin(fail []float64) (i1 int, t1 float64, i2 int, t2 float64) {
+	i1, t1 = -1, plusInf
+	i2, t2 = -1, plusInf
+	for i, f := range fail {
+		if f < t2 {
+			if f < t1 {
+				i2, t2 = i1, t1
+				i1, t1 = i, f
+			} else {
+				i2, t2 = i, f
+			}
+		}
+	}
+	return i1, t1, i2, t2
+}
+
+// plusInf hoists the math.Inf call out of the inlining cost of the
+// scan helpers.
+var plusInf = math.Inf(1)
+
+// twoMin4 is twoMin specialized to 4-member arrays (the paper's
+// RAID5 3+1 workhorse): a 5-comparison tournament with the same
+// first-index-wins-ties semantics as the scan, verified exhaustively
+// against it in tests.
+func twoMin4(fail []float64) (i1 int, t1 float64, i2 int, t2 float64) {
+	w01, l01 := 0, 1
+	if fail[1] < fail[0] {
+		w01, l01 = 1, 0
+	}
+	w23, l23 := 2, 3
+	if fail[3] < fail[2] {
+		w23, l23 = 3, 2
+	}
+	if fail[w23] < fail[w01] {
+		i1 = w23
+		i2 = w01
+		if fail[l23] < fail[w01] {
+			i2 = l23
+		}
+	} else {
+		i1 = w01
+		i2 = l01
+		if fail[w23] < fail[l01] {
+			i2 = w23
+		}
+	}
+	return i1, fail[i1], i2, fail[i2]
 }
 
 // pickOther returns a uniformly random index in [0, n) distinct from

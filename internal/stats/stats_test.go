@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"herald/internal/dist"
 	"herald/internal/xrand"
 )
 
@@ -410,4 +411,76 @@ func TestHistogramMergeMismatchPanics(t *testing.T) {
 		}
 	}()
 	a.Merge(b)
+}
+
+// bisectTQuantile is the pre-unification reference implementation:
+// bracket then bisect on StudentTCDF.
+func bisectTQuantile(nu, p float64) float64 {
+	lo, hi := -1.0, 1.0
+	for StudentTCDF(nu, lo) > p {
+		lo *= 2
+		if lo < -1e12 {
+			break
+		}
+	}
+	for StudentTCDF(nu, hi) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(nu, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TestStudentTQuantileMatchesBisection pins the Hill-plus-Newton
+// inversion to the slow bracketed bisection it replaced, across small
+// and large degrees of freedom and both tails.
+func TestStudentTQuantileMatchesBisection(t *testing.T) {
+	for _, nu := range []float64{1, 2, 3, 4.5, 9, 29, 99, 999, 123456} {
+		// p = 0.5 is excluded: the fast path returns the exact 0 while
+		// the bisection reference stops within ~1e-8 of it.
+		for _, p := range []float64{0.001, 0.005, 0.025, 0.2, 0.8, 0.975, 0.995, 0.999} {
+			fast := StudentTQuantile(nu, p)
+			slow := bisectTQuantile(nu, p)
+			if d := math.Abs(fast - slow); d > 1e-8*(1+math.Abs(slow)) {
+				t.Errorf("nu=%v p=%v: fast %v vs bisection %v (diff %g)", nu, p, fast, slow, d)
+			}
+		}
+	}
+}
+
+// TestNormQuantileUnification checks stats' large-nu fallback is
+// exactly dist.NormQuantile (the local bisection duplicate is gone).
+func TestNormQuantileUnification(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.3, 0.5, 0.7, 0.975, 0.999} {
+		got := StudentTQuantile(2e6, p)
+		want := dist.NormQuantile(p)
+		if got != want {
+			t.Errorf("StudentTQuantile(2e6, %v) = %v, want dist.NormQuantile = %v", p, got, want)
+		}
+	}
+	// And dist.NormQuantile itself round-trips through the erfc CDF.
+	for _, p := range []float64{1e-9, 0.001, 0.3, 0.9999} {
+		z := dist.NormQuantile(p)
+		if back := 0.5 * math.Erfc(-z/math.Sqrt2); math.Abs(back-p) > 1e-12*(1+p) {
+			t.Errorf("NormCDF(NormQuantile(%v)) = %v", p, back)
+		}
+	}
+}
+
+func BenchmarkStudentTQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = StudentTQuantile(99, 0.995)
+	}
 }

@@ -45,16 +45,25 @@ func New(seed uint64) *Source {
 // Streams with distinct (seed, stream) pairs are decorrelated by hashing
 // both through SplitMix64 before state expansion.
 func NewStream(seed uint64, stream uint64) *Source {
+	var s Source
+	s.SeedStream(seed, stream)
+	return &s
+}
+
+// SeedStream resets the generator in place to the stream-th independent
+// state derived from seed, producing exactly the sequence of
+// NewStream(seed, stream) without allocating. It is the per-iteration
+// replay primitive of the Monte-Carlo hot loop: one stack-resident
+// Source is reseeded for each iteration index.
+func (s *Source) SeedStream(seed uint64, stream uint64) {
 	x := seed
 	h := splitMix64(&x)
 	x = h ^ (stream * 0xd2b74407b1ce6e93)
-	var s Source
 	s.s[0] = splitMix64(&x)
 	s.s[1] = splitMix64(&x)
 	s.s[2] = splitMix64(&x)
 	s.s[3] = splitMix64(&x)
 	s.normalize()
-	return &s
 }
 
 // Seed resets the generator state from a 64-bit seed. It implements
@@ -79,16 +88,20 @@ func (s *Source) normalize() {
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits. It implements
-// math/rand.Source64.
+// math/rand.Source64. The state walks through locals so the function
+// stays within the compiler's inlining budget — it is the innermost
+// call of every draw in the Monte-Carlo hot loop.
 func (s *Source) Uint64() uint64 {
-	result := rotl(s.s[1]*5, 7) * 9
-	t := s.s[1] << 17
-	s.s[2] ^= s.s[0]
-	s.s[3] ^= s.s[1]
-	s.s[1] ^= s.s[2]
-	s.s[0] ^= s.s[3]
-	s.s[2] ^= t
-	s.s[3] = rotl(s.s[3], 45)
+	s0, s1, s2, s3 := s.s[0], s.s[1], s.s[2], s.s[3]
+	result := rotl(s1*5, 7) * 9
+	t := s1 << 17
+	s2 ^= s0
+	s3 ^= s1
+	s1 ^= s2
+	s0 ^= s3
+	s2 ^= t
+	s3 = rotl(s3, 45)
+	s.s[0], s.s[1], s.s[2], s.s[3] = s0, s1, s2, s3
 	return result
 }
 
@@ -114,10 +127,78 @@ func (s *Source) OpenFloat64() float64 {
 	}
 }
 
-// ExpFloat64 returns an exponentially distributed float64 with rate 1,
-// via inverse-transform sampling.
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+// It uses a 256-layer ziggurat (Marsaglia & Tsang), which resolves
+// ~98.6% of draws with one 64-bit draw, one table compare and one
+// multiply — no logarithm. The sequence is deterministic per stream but
+// consumes a variable number of generator outputs per draw; replay
+// therefore reproduces exactly when the whole stream is replayed from
+// its seed (the contract the simulator's per-iteration streams rely
+// on).
 func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Uint64()
+		j := u >> 11  // 53 uniform bits
+		i := u & 0xff // layer index from disjoint low bits
+		if j < zigExpK[i] {
+			return float64(j) * zigExpW[i]
+		}
+		if i == 0 {
+			// Tail beyond x = zigExpR: memorylessness restarts the
+			// exponential at the tail edge.
+			return zigExpR + s.ExpInvFloat64()
+		}
+		x := float64(j) * zigExpW[i]
+		if zigExpF[i]+s.Float64()*(zigExpF[i-1]-zigExpF[i]) < math.Exp(-x) {
+			return x
+		}
+	}
+}
+
+// ExpInvFloat64 returns an exponentially distributed float64 with
+// rate 1 by inverse-transform sampling (-ln U). It consumes exactly one
+// uniform per draw (modulo the astronomically rare zero rejection in
+// OpenFloat64), which makes it the reference sampler for tests that
+// need fixed stream consumption.
+func (s *Source) ExpInvFloat64() float64 {
 	return -math.Log(s.OpenFloat64())
+}
+
+// Ziggurat tables for the rate-1 exponential law, built once at init
+// from the Marsaglia & Tsang (2000) recurrence with 256 layers:
+// zigExpK[i] are acceptance thresholds against 53-bit uniforms,
+// zigExpW[i] scale those uniforms onto layer widths, and zigExpF[i] are
+// the density values at the layer edges.
+var (
+	zigExpK [256]uint64
+	zigExpW [256]float64
+	zigExpF [256]float64
+)
+
+// zigExpR is the right edge of the base strip; zigExpV the common layer
+// area (Marsaglia & Tsang's constants for N = 256).
+const (
+	zigExpR = 7.697117470131487
+	zigExpV = 3.949659822581572e-3
+)
+
+func init() {
+	const m = 1 << 53
+	de, te := zigExpR, zigExpR
+	q := zigExpV / math.Exp(-de)
+	zigExpK[0] = uint64(de / q * m)
+	zigExpK[1] = 0
+	zigExpW[0] = q / m
+	zigExpW[255] = de / m
+	zigExpF[0] = 1
+	zigExpF[255] = math.Exp(-de)
+	for i := 254; i >= 1; i-- {
+		de = -math.Log(zigExpV/de + math.Exp(-de))
+		zigExpK[i+1] = uint64(de / te * m)
+		te = de
+		zigExpF[i] = math.Exp(-de)
+		zigExpW[i] = de / m
+	}
 }
 
 // NormFloat64 returns a standard normal variate using the Marsaglia
@@ -165,13 +246,10 @@ func mul64(a, b uint64) (hi, lo uint64) {
 // Bernoulli returns true with probability p. Values of p <= 0 always
 // return false and p >= 1 always return true.
 func (s *Source) Bernoulli(p float64) bool {
-	if p <= 0 {
-		return false
-	}
 	if p >= 1 {
 		return true
 	}
-	return s.Float64() < p
+	return p > 0 && s.Float64() < p
 }
 
 // jumpPoly is the xoshiro256** jump polynomial; calling Jump advances

@@ -279,3 +279,102 @@ func TestZeroStateGuard(t *testing.T) {
 		t.Fatal("normalize left a degenerate zero generator")
 	}
 }
+
+func TestSeedStreamMatchesNewStream(t *testing.T) {
+	var s Source
+	for stream := uint64(0); stream < 10; stream++ {
+		s.SeedStream(404, stream)
+		want := NewStream(404, stream)
+		for i := 0; i < 50; i++ {
+			if s.Uint64() != want.Uint64() {
+				t.Fatalf("SeedStream(404,%d) diverged from NewStream at draw %d", stream, i)
+			}
+		}
+	}
+}
+
+func TestExpFloat64Moments(t *testing.T) {
+	// The ziggurat must reproduce the rate-1 exponential's first two
+	// moments (mean 1, variance 1).
+	s := New(37)
+	const n = 400000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	varc := sumSq/n - mean*mean
+	if math.Abs(mean-1) > 0.01 {
+		t.Fatalf("ziggurat mean = %v, want ~1", mean)
+	}
+	if math.Abs(varc-1) > 0.03 {
+		t.Fatalf("ziggurat variance = %v, want ~1", varc)
+	}
+}
+
+func TestExpFloat64MatchesInverseCDFHistogram(t *testing.T) {
+	// Ziggurat and inverse-transform sampling target the same law:
+	// compare empirical CDFs at fixed probes, including the ziggurat
+	// tail region beyond the base strip edge.
+	const n = 400000
+	probes := []float64{0.05, 0.2, 0.7, 1.5, 3, 6, 8}
+	zig, inv := New(41), New(43)
+	for _, q := range probes {
+		below := func(draw func() float64) float64 {
+			c := 0
+			for i := 0; i < n; i++ {
+				if draw() < q {
+					c++
+				}
+			}
+			return float64(c) / n
+		}
+		pz := below(zig.ExpFloat64)
+		pi := below(inv.ExpInvFloat64)
+		want := 1 - math.Exp(-q)
+		if math.Abs(pz-want) > 0.005 {
+			t.Errorf("ziggurat P(X<%v) = %v, analytic %v", q, pz, want)
+		}
+		if math.Abs(pz-pi) > 0.01 {
+			t.Errorf("ziggurat vs inverse CDF at %v: %v vs %v", q, pz, pi)
+		}
+	}
+}
+
+func TestExpFloat64TailReachable(t *testing.T) {
+	// Draws beyond the base strip edge (x > zigExpR) occur with
+	// probability exp(-7.697) ~ 4.5e-4; 100k draws should see a few.
+	s := New(47)
+	tail := 0
+	for i := 0; i < 200000; i++ {
+		if s.ExpFloat64() > zigExpR {
+			tail++
+		}
+	}
+	if tail == 0 {
+		t.Fatal("ziggurat tail branch never taken in 200k draws")
+	}
+}
+
+func BenchmarkExpFloat64Ziggurat(b *testing.B) {
+	s := New(1)
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		acc += s.ExpFloat64()
+	}
+	_ = acc
+}
+
+func BenchmarkExpFloat64InverseCDF(b *testing.B) {
+	s := New(1)
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		acc += s.ExpInvFloat64()
+	}
+	_ = acc
+}
