@@ -17,18 +17,31 @@
 //	availsim -dist hyperexp -hyper-weights 0.9,0.1 -hyper-rates 2e-5,1e-6
 //	availsim -repair-dist lognormal -repair-sigma 0.8 -mu-df 0.1
 //	availsim -policy failover -disks 4 -lambda 1e-5 -hep 0.01
+//
+// Paper-scale runs shard across processes and machines (see README.md
+// "Sharded execution"): -shards partitions the iteration range,
+// -workers sets the local worker-process count, -checkpoint makes the
+// run resumable, -shard-serve turns this host into a TCP worker that
+// -shard-connect attaches:
+//
+//	availsim -iters 1000000 -shards 16 -workers 8
+//	availsim -iters 1000000 -shards 32 -checkpoint run.ckpt
+//	availsim -shard-serve :9009                   # on a worker box
+//	availsim -iters 1000000 -shards 32 -shard-connect box1:9009,box2:9009
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"strconv"
 	"strings"
 
 	"herald/internal/dist"
 	"herald/internal/report"
+	"herald/internal/shard"
 	"herald/internal/sim"
 )
 
@@ -130,6 +143,10 @@ func parseCSV(s string) ([]float64, error) {
 }
 
 func main() {
+	// When spawned by a sharded coordinator, this process serves jobs
+	// over stdio and never reaches the CLI below.
+	shard.MaybeWorker()
+
 	var (
 		disks  = flag.Int("disks", 4, "total member disks n")
 		lambda = flag.Float64("lambda", 1e-6, "per-disk failure rate (1/h); the TTF law's mean is 1/lambda")
@@ -149,8 +166,13 @@ func main() {
 		iters       = flag.Int("iters", 20000, "Monte-Carlo iterations (paper: 1e6)")
 		mission     = flag.Float64("mission", 1e6, "mission time per iteration (h)")
 		seed        = flag.Uint64("seed", 42, "PRNG seed")
-		workers     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "parallel workers: goroutines single-process, local worker processes when sharded (0 = GOMAXPROCS)")
 		confidence  = flag.Float64("confidence", 0.99, "confidence level for the interval")
+
+		shards       = flag.Int("shards", 1, "partition the run into N shards executed by worker processes/machines (results are bit-identical for every N)")
+		checkpoint   = flag.String("checkpoint", "", "checkpoint log path: completed shards are recorded and a rerun resumes from them (implies sharded execution)")
+		shardConnect = flag.String("shard-connect", "", "comma-separated host:port list of remote TCP workers (availsim -shard-serve) to attach")
+		shardServe   = flag.String("shard-serve", "", "run as a TCP shard worker on this address instead of simulating")
 	)
 	flag.StringVar(&ttf.family, "dist", "exp", "time-to-failure law: "+distFamilies)
 	flag.Float64Var(&ttf.shape, "shape", 1.2, "TTF shape (weibull, gamma)")
@@ -165,6 +187,14 @@ func main() {
 	flag.StringVar(&rep.hyperW, "repair-hyper-weights", "0.5,0.5", "service branch weights (hyperexp)")
 	flag.StringVar(&rep.hyperR, "repair-hyper-rates", "", "service branch rates 1/h (hyperexp)")
 	flag.Parse()
+
+	if *shardServe != "" {
+		err := shard.ListenAndServe(*shardServe, func(a net.Addr) {
+			fmt.Fprintf(os.Stderr, "availsim: serving shard jobs on %s\n", a)
+		})
+		exitOn(err)
+		return
+	}
 
 	// The distribution constructors treat non-positive rates as
 	// programmer errors and panic; turn bad flag values into flag
@@ -209,13 +239,19 @@ func main() {
 		exitOn(fmt.Errorf("unknown -policy %q (want conventional, failover or dualparity)", *policy))
 	}
 
-	s, err := sim.Run(p, sim.Options{
+	o := sim.Options{
 		Iterations:  *iters,
 		MissionTime: *mission,
 		Seed:        *seed,
 		Workers:     *workers,
 		Confidence:  *confidence,
-	})
+	}
+	var s sim.Summary
+	if *shards > 1 || *shardConnect != "" || *checkpoint != "" {
+		s, err = runSharded(p, o, *shards, *workers, *checkpoint, *shardConnect)
+	} else {
+		s, err = sim.Run(p, o)
+	}
 	exitOn(err)
 
 	t := report.NewTable(
@@ -236,6 +272,49 @@ func main() {
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		exitOn(err)
 	}
+}
+
+// runSharded executes the run through the shard coordinator: remote
+// TCP workers from -shard-connect plus nlocal local worker processes
+// (0 = GOMAXPROCS; with remote workers attached, 0 means remote-only).
+func runSharded(p sim.ArrayParams, o sim.Options, shards, nlocal int, checkpoint, connect string) (sim.Summary, error) {
+	var workers []shard.Worker
+	closeAll := func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}
+	if connect != "" {
+		for _, addr := range strings.Split(connect, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			w, err := shard.Dial(addr)
+			if err != nil {
+				closeAll()
+				return sim.Summary{}, err
+			}
+			workers = append(workers, w)
+		}
+	}
+	if nlocal > 0 || len(workers) == 0 {
+		local, err := shard.SpawnLocal(nlocal)
+		if err != nil {
+			closeAll()
+			return sim.Summary{}, err
+		}
+		workers = append(workers, local...)
+	}
+	defer closeAll()
+	return shard.Run(shard.Config{
+		Params:     p,
+		Options:    o,
+		Shards:     shards,
+		Workers:    workers,
+		Checkpoint: checkpoint,
+		Log:        os.Stderr,
+	})
 }
 
 func exitOn(err error) {

@@ -1,0 +1,172 @@
+// Command benchcheck compares a fresh benchmark report (the JSON
+// scripts/bench.sh emits) against a committed baseline (the newest
+// BENCH_*.json at the repo root) and exits non-zero when a kernel
+// benchmark regressed beyond the threshold. CI runs it after the
+// bench job so a >20% kernel regression fails the build instead of
+// slipping into the trajectory unnoticed.
+//
+// Usage:
+//
+//	benchcheck -baseline BENCH_2.json -current bench-report.json
+//	benchcheck -baseline BENCH_2.json -current out.json -threshold 0.3 -match 'MCIteration'
+//
+// Both file shapes are accepted: a bare bench.sh report
+// ({"benchmarks": [...]}) or a PR trajectory file whose "after" (or
+// "before") section holds the report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// benchmark is one benchmark line of a report.
+type benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// report is the JSON shape bench.sh emits; trajectory files nest it
+// under "before"/"after".
+type report struct {
+	Go         string      `json:"go"`
+	CPU        string      `json:"cpu"`
+	Benchmarks []benchmark `json:"benchmarks"`
+	Before     *report     `json:"before"`
+	After      *report     `json:"after"`
+}
+
+// loadBenchmarks reads a report file and returns its benchmarks by
+// name, preferring the "after" section of trajectory files.
+func loadBenchmarks(path string) (map[string]benchmark, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	sel := &r
+	if len(sel.Benchmarks) == 0 && r.After != nil {
+		sel = r.After
+	}
+	if len(sel.Benchmarks) == 0 && r.Before != nil {
+		sel = r.Before
+	}
+	if len(sel.Benchmarks) == 0 {
+		return nil, "", fmt.Errorf("%s: no benchmarks found", path)
+	}
+	out := make(map[string]benchmark, len(sel.Benchmarks))
+	for _, b := range sel.Benchmarks {
+		if b.Name == "" || b.NsPerOp <= 0 {
+			continue
+		}
+		out[b.Name] = b
+	}
+	cpu := sel.CPU
+	if cpu == "" {
+		cpu = r.CPU
+	}
+	return out, cpu, nil
+}
+
+// delta is one baseline-vs-current comparison.
+type delta struct {
+	Name       string
+	BaseNs     float64
+	CurNs      float64
+	Ratio      float64 // CurNs/BaseNs - 1; positive = slower
+	Regression bool
+}
+
+// compare matches benchmarks by name (filtered by match) and flags
+// regressions beyond threshold. Gated baseline benchmarks absent from
+// the current report are returned in missing — a renamed or dropped
+// kernel benchmark must be visible, not silently un-gated.
+func compare(base, cur map[string]benchmark, match *regexp.Regexp, threshold float64) (out []delta, missing []string) {
+	for name, b := range base {
+		if match != nil && !match.MatchString(name) {
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		ratio := c.NsPerOp/b.NsPerOp - 1
+		out = append(out, delta{
+			Name:       name,
+			BaseNs:     b.NsPerOp,
+			CurNs:      c.NsPerOp,
+			Ratio:      ratio,
+			Regression: ratio > threshold,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	sort.Strings(missing)
+	return out, missing
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "committed baseline JSON (e.g. the newest BENCH_*.json)")
+		current   = flag.String("current", "", "fresh report JSON (scripts/bench.sh output)")
+		threshold = flag.Float64("threshold", 0.20, "fail when ns/op grows by more than this fraction")
+		match     = flag.String("match", "MCIteration|SampleN|ExpFloat64|NormFloat64|StudentTQuantile|SteadyState",
+			"regexp selecting the kernel benchmarks to gate on")
+	)
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -current are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: bad -match:", err)
+		os.Exit(2)
+	}
+	base, baseCPU, err := loadBenchmarks(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	cur, curCPU, err := loadBenchmarks(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	if baseCPU != "" && curCPU != "" && baseCPU != curCPU {
+		fmt.Fprintf(os.Stderr, "benchcheck: note: baseline CPU %q differs from current %q; timings are cross-machine\n",
+			baseCPU, curCPU)
+	}
+
+	deltas, missing := compare(base, cur, re, *threshold)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "benchcheck: warning: gated baseline benchmark %s is missing from the current report\n", name)
+	}
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no matching benchmarks shared by baseline and current report")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, d := range deltas {
+		flag := "  "
+		if d.Regression {
+			flag = "!!"
+			failed++
+		}
+		fmt.Printf("%s %-48s %12.1f -> %12.1f ns/op  %+6.1f%%\n", flag, d.Name, d.BaseNs, d.CurNs, 100*d.Ratio)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d kernel benchmark(s) regressed more than %.0f%%\n", failed, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of baseline\n", len(deltas), 100**threshold)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBenchmarksBareReport(t *testing.T) {
+	path := writeFile(t, "bench.json", `{
+		"go": "go1.24", "cpu": "TestCPU",
+		"benchmarks": [
+			{"name": "BenchmarkMCIterationConventional", "ns_per_op": 140000, "allocs_per_op": 8},
+			{"name": "BenchmarkBroken", "ns_per_op": 0}
+		]
+	}`)
+	m, cpu, err := loadBenchmarks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "TestCPU" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(m) != 1 {
+		t.Errorf("kept %d benchmarks, want 1 (zero ns/op dropped)", len(m))
+	}
+	if m["BenchmarkMCIterationConventional"].NsPerOp != 140000 {
+		t.Errorf("ns/op = %v", m["BenchmarkMCIterationConventional"].NsPerOp)
+	}
+}
+
+func TestLoadBenchmarksTrajectoryFile(t *testing.T) {
+	// BENCH_<pr>.json shape: before/after sections; "after" wins.
+	path := writeFile(t, "BENCH_2.json", `{
+		"pr": 2,
+		"before": {"benchmarks": [{"name": "BenchmarkX", "ns_per_op": 300}]},
+		"after":  {"cpu": "C", "benchmarks": [{"name": "BenchmarkX", "ns_per_op": 100}]}
+	}`)
+	m, cpu, err := loadBenchmarks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "C" {
+		t.Errorf("cpu = %q, want after-section CPU", cpu)
+	}
+	if m["BenchmarkX"].NsPerOp != 100 {
+		t.Errorf("ns/op = %v, want the after section's 100", m["BenchmarkX"].NsPerOp)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := map[string]benchmark{
+		"BenchmarkMCIterationConventional": {Name: "BenchmarkMCIterationConventional", NsPerOp: 100},
+		"BenchmarkSampleNExp":              {Name: "BenchmarkSampleNExp", NsPerOp: 50},
+		"BenchmarkIgnored":                 {Name: "BenchmarkIgnored", NsPerOp: 10},
+		"BenchmarkOnlyInBase":              {Name: "BenchmarkOnlyInBase", NsPerOp: 10},
+	}
+	cur := map[string]benchmark{
+		"BenchmarkMCIterationConventional": {Name: "BenchmarkMCIterationConventional", NsPerOp: 125}, // +25%: regression
+		"BenchmarkSampleNExp":              {Name: "BenchmarkSampleNExp", NsPerOp: 55},               // +10%: fine
+		"BenchmarkIgnored":                 {Name: "BenchmarkIgnored", NsPerOp: 1000},                // filtered out
+	}
+	re := regexp.MustCompile("MCIteration|SampleN|OnlyInBase")
+	ds, missing := compare(base, cur, re, 0.20)
+	if len(ds) != 2 {
+		t.Fatalf("compared %d benchmarks, want 2", len(ds))
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkOnlyInBase" {
+		t.Errorf("missing = %v, want the dropped gated benchmark surfaced", missing)
+	}
+	// Sorted worst-first.
+	if ds[0].Name != "BenchmarkMCIterationConventional" || !ds[0].Regression {
+		t.Errorf("worst delta = %+v, want flagged MCIteration", ds[0])
+	}
+	if ds[1].Name != "BenchmarkSampleNExp" || ds[1].Regression {
+		t.Errorf("second delta = %+v, want unflagged SampleN", ds[1])
+	}
+}
+
+func TestCompareImprovementNotFlagged(t *testing.T) {
+	base := map[string]benchmark{"BenchmarkMCIterationConventional": {NsPerOp: 100}}
+	cur := map[string]benchmark{"BenchmarkMCIterationConventional": {NsPerOp: 40}}
+	ds, _ := compare(base, cur, nil, 0.20)
+	if len(ds) != 1 || ds[0].Regression {
+		t.Fatalf("improvement flagged as regression: %+v", ds)
+	}
+}

@@ -6,6 +6,8 @@
 //	repro -fig 6               # only Fig. 6 (RAID ranking)
 //	repro -fig 4 -iters 100000 # Fig. 4 at near-paper Monte-Carlo scale
 //	repro -fig 5 -csv          # Fig. 5 as CSV
+//	repro -full                # paper-scale 1e6-iteration sweep,
+//	                           # sharded across all cores
 package main
 
 import (
@@ -15,16 +17,21 @@ import (
 	"strings"
 
 	"herald/internal/repro"
+	"herald/internal/shard"
 )
 
 func main() {
+	// -full shards across sibling processes of this binary.
+	shard.MaybeWorker()
+
 	var (
 		fig     = flag.String("fig", "all", "experiment id: "+strings.Join(repro.All(), ", ")+" or all")
 		iters   = flag.Int("iters", 0, "Monte-Carlo iterations per point (0 = default 4000; paper used 1e6)")
 		mission = flag.Float64("mission", 0, "mission time per iteration in hours (0 = default 1e6)")
 		seed    = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); with -full, the worker-process count")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		full    = flag.Bool("full", false, "run the paper-scale sweep (policies x HEP at 1e6 iterations/point) sharded across all cores")
 	)
 	flag.Parse()
 
@@ -33,6 +40,14 @@ func main() {
 		MissionTime:  *mission,
 		Seed:         *seed,
 		Workers:      *workers,
+	}
+
+	if *full {
+		if err := repro.Full(o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ids := repro.All()

@@ -37,6 +37,7 @@ import (
 	"herald/internal/raid"
 	"herald/internal/report"
 	"herald/internal/repro"
+	"herald/internal/shard"
 	"herald/internal/sim"
 	"herald/internal/stats"
 )
@@ -142,6 +143,63 @@ func PaperSimParams(n int, lambda, hep float64) SimParams {
 
 // Simulate runs the Monte-Carlo reference model.
 func Simulate(p SimParams, o SimOptions) (SimSummary, error) { return sim.Run(p, o) }
+
+// ---------------------------------------------------------------------
+// Sharded (multi-process / multi-machine) simulation
+// ---------------------------------------------------------------------
+
+// SimPartial is the mergeable outcome of a contiguous iteration range;
+// see SimulateRange and MergeSimPartials.
+type SimPartial = sim.Partial
+
+// ShardConfig configures a distributed Monte-Carlo run; see
+// internal/shard for the coordinator/worker architecture.
+type ShardConfig = shard.Config
+
+// ShardWorker executes shard jobs for a coordinator.
+type ShardWorker = shard.Worker
+
+// MaybeShardWorker turns this process into a shard worker when it was
+// spawned by a sharded coordinator (SimulateSharded execs the current
+// binary). Call it first thing in main() of any program that uses
+// SimulateSharded; it returns immediately otherwise.
+func MaybeShardWorker() { shard.MaybeWorker() }
+
+// SimulateSharded runs the Monte-Carlo model partitioned into shards
+// executed by workerProcs local single-threaded worker processes
+// (0 = one per core). The Summary is bit-identical to Simulate with
+// the same parameters, whatever the shard and worker counts; an
+// optional non-empty checkpoint path makes the run resumable after a
+// kill. The calling binary's main must start with MaybeShardWorker.
+func SimulateSharded(p SimParams, o SimOptions, shards, workerProcs int, checkpoint string) (SimSummary, error) {
+	return shard.RunLocal(p, o, shards, workerProcs, checkpoint, nil)
+}
+
+// ShardedRun executes a fully custom distributed run (remote TCP
+// workers via DialShardWorker, mixed pools, checkpoint logs).
+func ShardedRun(cfg ShardConfig) (SimSummary, error) { return shard.Run(cfg) }
+
+// DialShardWorker attaches a remote worker serving the shard protocol
+// over TCP (ServeShardWorkers, or `availsim -shard-serve`).
+func DialShardWorker(addr string) (ShardWorker, error) { return shard.Dial(addr) }
+
+// ServeShardWorkers turns this process into a TCP shard worker
+// serving jobs on addr until the listener fails.
+func ServeShardWorkers(addr string) error { return shard.ListenAndServe(addr, nil) }
+
+// SimulateRange computes the canonical cell partials of the aligned
+// iteration range [start, end) of a run; MergeSimPartials folds
+// partials that exactly tile the run back into a Summary. Together
+// they are the building blocks SimulateSharded distributes.
+func SimulateRange(p SimParams, o SimOptions, start, end int) ([]SimPartial, error) {
+	return sim.RunRange(p, o, start, end)
+}
+
+// MergeSimPartials merges partials covering [0, o.Iterations) exactly
+// once into a Summary, rejecting gaps, overlaps and duplicates.
+func MergeSimPartials(o SimOptions, parts []SimPartial) (SimSummary, error) {
+	return sim.Summarize(o, parts)
+}
 
 // ---------------------------------------------------------------------
 // Distributions

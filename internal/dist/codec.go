@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"fmt"
+)
+
+// Spec is the serializable description of a distribution: family name
+// plus positional parameters (and, for mixtures, branch weights and
+// component specs). It is the wire format sharded simulation uses to
+// ship laws to worker processes and machines. Round-tripping through a
+// Spec rebuilds the law via its constructor, so derived caches
+// (Weibull's inverse shape, Gamma's rejection constants, a Mixture's
+// cumulative table) are restored even though they never travel.
+type Spec struct {
+	Family     string    `json:"family"`
+	Params     []float64 `json:"params,omitempty"`
+	Weights    []float64 `json:"weights,omitempty"`
+	Components []Spec    `json:"components,omitempty"`
+}
+
+// Spec family names.
+const (
+	SpecExponential   = "exponential"
+	SpecDeterministic = "deterministic"
+	SpecUniform       = "uniform"
+	SpecWeibull       = "weibull"
+	SpecLognormal     = "lognormal"
+	SpecGamma         = "gamma"
+	SpecMixture       = "mixture"
+)
+
+// SpecOf returns the serializable description of d. Every family this
+// package constructs is supported; an unknown implementation of
+// Distribution yields an error.
+func SpecOf(d Distribution) (Spec, error) {
+	switch v := d.(type) {
+	case Exponential:
+		return Spec{Family: SpecExponential, Params: []float64{v.Rate}}, nil
+	case *Exponential:
+		return Spec{Family: SpecExponential, Params: []float64{v.Rate}}, nil
+	case Deterministic:
+		return Spec{Family: SpecDeterministic, Params: []float64{v.Value}}, nil
+	case Uniform:
+		return Spec{Family: SpecUniform, Params: []float64{v.Lo, v.Hi}}, nil
+	case Weibull:
+		return Spec{Family: SpecWeibull, Params: []float64{v.Shape, v.Scale}}, nil
+	case Lognormal:
+		return Spec{Family: SpecLognormal, Params: []float64{v.Mu, v.Sigma}}, nil
+	case Gamma:
+		return Spec{Family: SpecGamma, Params: []float64{v.Shape, v.Rate}}, nil
+	case Mixture:
+		sp := Spec{Family: SpecMixture, Weights: append([]float64(nil), v.Weights...)}
+		for i, c := range v.Components {
+			cs, err := SpecOf(c)
+			if err != nil {
+				return Spec{}, fmt.Errorf("dist: mixture component %d: %w", i, err)
+			}
+			sp.Components = append(sp.Components, cs)
+		}
+		return sp, nil
+	default:
+		return Spec{}, fmt.Errorf("dist: no spec encoding for %T", d)
+	}
+}
+
+// Distribution rebuilds the law the spec describes, via the family's
+// constructor. Invalid parameters surface as errors rather than the
+// constructor panics.
+func (s Spec) Distribution() (d Distribution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d, err = nil, fmt.Errorf("dist: invalid %s spec: %v", s.Family, r)
+		}
+	}()
+	need := func(n int) error {
+		if len(s.Params) != n {
+			return fmt.Errorf("dist: %s spec needs %d params, got %d", s.Family, n, len(s.Params))
+		}
+		return nil
+	}
+	switch s.Family {
+	case SpecExponential:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return NewExponential(s.Params[0]), nil
+	case SpecDeterministic:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return NewDeterministic(s.Params[0]), nil
+	case SpecUniform:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewUniform(s.Params[0], s.Params[1]), nil
+	case SpecWeibull:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewWeibull(s.Params[0], s.Params[1]), nil
+	case SpecLognormal:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewLognormal(s.Params[0], s.Params[1]), nil
+	case SpecGamma:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return NewGamma(s.Params[0], s.Params[1]), nil
+	case SpecMixture:
+		if len(s.Components) == 0 || len(s.Weights) != len(s.Components) {
+			return nil, fmt.Errorf("dist: mixture spec needs matching weights and components, got %d and %d",
+				len(s.Weights), len(s.Components))
+		}
+		comps := make([]Distribution, len(s.Components))
+		for i, cs := range s.Components {
+			c, err := cs.Distribution()
+			if err != nil {
+				return nil, fmt.Errorf("dist: mixture component %d: %w", i, err)
+			}
+			comps[i] = c
+		}
+		return NewMixture(s.Weights, comps...), nil
+	default:
+		return nil, fmt.Errorf("dist: unknown spec family %q", s.Family)
+	}
+}

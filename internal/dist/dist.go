@@ -21,7 +21,7 @@
 //   - SampleN (the BatchSampler interface) fills a slice and may use a
 //     different, faster exact algorithm: Gamma switches to
 //     Marsaglia-Tsang squeeze-rejection off constants cached by the
-//     constructors, Lognormal to pair-consuming polar-method normals,
+//     constructors, Lognormal to ziggurat normals,
 //     and every family hoists per-draw constants out of the loop.
 //
 // Both paths draw from the identical law; only the mapping from

@@ -6,7 +6,7 @@ import "herald/internal/xrand"
 // variates more cheaply than repeated Sample calls: per-draw constants
 // are hoisted out of the loop and families with expensive inverse CDFs
 // (Gamma, Lognormal) switch to fast exact algorithms (Marsaglia-Tsang
-// rejection, polar normals).
+// rejection, ziggurat normals).
 //
 // SampleN draws len(dst) independent variates of the same law as
 // Sample. It is NOT guaranteed to consume the stream identically to

@@ -46,26 +46,15 @@ func (l Lognormal) Sample(r *xrand.Source) float64 {
 	return math.Exp(l.Mu + l.Sigma*NormQuantile(r.OpenFloat64()))
 }
 
-// SampleN fills dst with independent draws via polar-method normals,
-// which beat the Acklam quantile evaluation of Sample while drawing
-// from the identical law. Unlike single draws through NormFloat64,
-// the batch consumes both normals of each polar pair, halving the
-// rejection loops, logs and square roots per variate.
+// SampleN fills dst with independent draws via ziggurat normals
+// (xrand.Source.NormFloat64), which beat both the Acklam quantile
+// evaluation of Sample and the polar method this path previously used:
+// ~99% of normals cost one table compare and one multiply, leaving the
+// exp of the lognormal transform as the only transcendental per
+// variate.
 func (l Lognormal) SampleN(r *xrand.Source, dst []float64) {
-	for i := 0; i < len(dst); {
-		u := 2*r.Float64() - 1
-		v := 2*r.Float64() - 1
-		q := u*u + v*v
-		if q <= 0 || q >= 1 {
-			continue
-		}
-		s := math.Sqrt(-2 * math.Log(q) / q)
-		dst[i] = math.Exp(l.Mu + l.Sigma*u*s)
-		i++
-		if i < len(dst) {
-			dst[i] = math.Exp(l.Mu + l.Sigma*v*s)
-			i++
-		}
+	for i := range dst {
+		dst[i] = math.Exp(l.Mu + l.Sigma*r.NormFloat64())
 	}
 }
 

@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"herald/internal/report"
+	"herald/internal/shard"
+	"herald/internal/sim"
+)
+
+// Full runs the paper-scale evaluation sweep — every replacement
+// policy crossed with the paper's HEP values, at 1e6 Monte-Carlo
+// iterations per point (§V reports 99% confidence at that count) —
+// sharded across all local cores via internal/shard worker processes.
+// Any binary calling it must invoke shard.MaybeWorker at the top of
+// main. Options scale it: MCIterations overrides the per-point count,
+// Workers the worker-process count. The emitted table records the
+// wall time and iteration throughput of every point, which is where
+// the BENCH_*.json scale targets are measured.
+func Full(o Options, out io.Writer) error {
+	d := o.withDefaults()
+	iters := o.MCIterations
+	if iters <= 0 {
+		iters = 1_000_000
+	}
+	procs := o.Workers
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	// Twice as many shards as workers keeps the tail balanced when one
+	// worker lags.
+	shardCount := 2 * procs
+
+	const lambda = 1e-6
+	policies := []sim.Policy{sim.Conventional, sim.AutoFailover, sim.DualParity}
+	heps := []float64{0, 0.001, 0.01}
+
+	workers, err := shard.SpawnLocal(procs)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+
+	t := report.NewTable(
+		fmt.Sprintf("Paper-scale sweep: %d iterations/point, %d shards over %d local worker processes", iters, shardCount, procs),
+		"policy", "hep", "availability", "nines", "ci half-width", "wall s", "Miter/s")
+	for _, pol := range policies {
+		for _, hep := range heps {
+			p := sim.PaperDefaults(4, lambda, hep)
+			p.Policy = pol
+			opts := sim.Options{
+				Iterations:  iters,
+				MissionTime: d.MissionTime,
+				Seed:        d.Seed,
+				Confidence:  d.Confidence,
+			}
+			start := time.Now()
+			s, err := shard.Run(shard.Config{
+				Params:  p,
+				Options: opts,
+				Shards:  shardCount,
+				Workers: workers,
+			})
+			if err != nil {
+				return fmt.Errorf("repro: full sweep %s hep=%g: %w", pol, hep, err)
+			}
+			wall := time.Since(start)
+			t.AddRow(
+				pol.String(),
+				fmt.Sprintf("%g", hep),
+				fmt.Sprintf("%.9f", s.Availability),
+				report.F3(s.Nines),
+				report.E(s.HalfWidth),
+				fmt.Sprintf("%.2f", wall.Seconds()),
+				fmt.Sprintf("%.2f", float64(iters)/wall.Seconds()/1e6),
+			)
+		}
+	}
+	t.AddNote("lambda %g, mission %.3g h, seed %d, %d-disk arrays; sharded summaries are bit-identical to single-process runs",
+		lambda, d.MissionTime, d.Seed, 4)
+	if _, err := t.WriteTo(out); err != nil {
+		return err
+	}
+	return nil
+}

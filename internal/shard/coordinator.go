@@ -1,0 +1,355 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"herald/internal/sim"
+)
+
+// Config describes one distributed run.
+type Config struct {
+	// Params and Options configure the simulation exactly as sim.Run
+	// would receive them.
+	Params  sim.ArrayParams
+	Options sim.Options
+	// Shards is the number of contiguous iteration shards to
+	// partition the run into (default: one per worker). Shard
+	// boundaries always fall on the canonical cell boundaries, and the
+	// count is capped at the cell count, so over-asking is safe.
+	Shards int
+	// Workers execute the shards; at least one is required. Use
+	// SpawnLocal for sibling processes, Dial for remote TCP workers,
+	// NewInProcessWorker for this process.
+	Workers []Worker
+	// Checkpoint, when non-empty, is the path of the resume log:
+	// completed shards are appended as they finish, and a rerun with
+	// the same path and configuration skips them.
+	Checkpoint string
+	// Log receives progress warnings (torn checkpoints, dead workers,
+	// duplicate results). Nil discards them.
+	Log io.Writer
+}
+
+// Stats reports how a distributed run unfolded, for observability and
+// fault-injection tests.
+type Stats struct {
+	// Shards is the partition size of the run.
+	Shards int
+	// FromCheckpoint counts shards restored from the resume log
+	// without recomputation.
+	FromCheckpoint int
+	// Computed counts shards executed by workers this run.
+	Computed int
+	// DuplicateResults counts shard results that arrived for an
+	// already-completed shard and were dropped (exactly-once merging).
+	DuplicateResults int
+	// WorkerFailures counts workers that died mid-run and had their
+	// shard reassigned.
+	WorkerFailures int
+}
+
+// Partition returns the contiguous shard ranges of a run of n
+// iterations split shards ways. Boundaries fall on the canonical cell
+// boundaries of internal/sim, so every shard's partials are exactly
+// the cells a single-process run would produce; the count is capped at
+// the cell count.
+func Partition(n, shards int) []sim.Range {
+	cells := sim.Cells(n)
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(cells) {
+		shards = len(cells)
+	}
+	out := make([]sim.Range, 0, shards)
+	for s := 0; s < shards; s++ {
+		lo := s * len(cells) / shards
+		hi := (s + 1) * len(cells) / shards
+		if lo == hi {
+			continue
+		}
+		out = append(out, sim.Range{Start: cells[lo].Start, End: cells[hi-1].End})
+	}
+	return out
+}
+
+// Run executes the distributed run and returns its summary.
+func Run(cfg Config) (sim.Summary, error) {
+	s, _, err := RunStats(cfg)
+	return s, err
+}
+
+// RunStats is Run with the run's fault/resume statistics.
+func RunStats(cfg Config) (sim.Summary, Stats, error) {
+	var st Stats
+	if err := cfg.Params.Validate(); err != nil {
+		return sim.Summary{}, st, err
+	}
+	if err := cfg.Options.Validate(); err != nil {
+		return sim.Summary{}, st, err
+	}
+	if len(cfg.Workers) == 0 {
+		return sim.Summary{}, st, fmt.Errorf("shard: no workers")
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	wire, err := EncodeParams(cfg.Params)
+	if err != nil {
+		return sim.Summary{}, st, err
+	}
+	shardCount := cfg.Shards
+	if shardCount < 1 {
+		shardCount = len(cfg.Workers)
+	}
+	shards := Partition(cfg.Options.Iterations, shardCount)
+	st.Shards = len(shards)
+
+	// Checkpoint: restore completed shards, open the append log.
+	var done map[int][]sim.Partial
+	var cp *checkpoint
+	if cfg.Checkpoint != "" {
+		fp := Fingerprint(wire, cfg.Options, len(shards))
+		done, cp, err = openCheckpoint(cfg.Checkpoint, fp, shards, cfg.Options.Seed, cfg.Options.MissionTime, logw)
+		if err != nil {
+			return sim.Summary{}, st, err
+		}
+		defer cp.close()
+		st.FromCheckpoint = len(done)
+	}
+	if done == nil {
+		done = make(map[int][]sim.Partial)
+	}
+
+	d := &dispatcher{
+		shards:  shards,
+		seed:    cfg.Options.Seed,
+		mission: cfg.Options.MissionTime,
+		done:    done,
+		cp:      cp,
+		logw:    logw,
+	}
+	d.cond = sync.NewCond(&d.mu)
+	for id := range shards {
+		if _, ok := done[id]; !ok {
+			d.queue = append(d.queue, id)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range cfg.Workers {
+		if sb, ok := w.(strayBanker); ok {
+			sb.setStray(d.bankStray)
+		}
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			d.serve(w, wire, cfg.Options)
+		}(w)
+	}
+	wg.Wait()
+
+	st.Computed = d.computed
+	st.DuplicateResults = d.dups
+	st.WorkerFailures = d.failures
+	if d.fatal != nil {
+		return sim.Summary{}, st, d.fatal
+	}
+	if len(d.done) != len(shards) {
+		return sim.Summary{}, st, fmt.Errorf("shard: %d of %d shards unassigned and no live workers remain",
+			len(shards)-len(d.done), len(shards))
+	}
+
+	parts := make([]sim.Partial, 0, len(shards))
+	for id := range shards {
+		parts = append(parts, d.done[id]...)
+	}
+	summary, err := sim.Summarize(cfg.Options, parts)
+	return summary, st, err
+}
+
+// dispatcher is the coordinator's shared state: the pending-shard
+// queue, the completed-shard map, and the exactly-once bookkeeping.
+type dispatcher struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	shards   []sim.Range
+	seed     uint64
+	mission  float64
+	queue    []int // pending shard ids
+	inflight int
+
+	done      map[int][]sim.Partial
+	cp        *checkpoint
+	logw      io.Writer
+	fatal     error
+	computed  int
+	dups      int
+	failures  int
+	malformed map[int]int // per-shard malformed-result count
+}
+
+// maxMalformedPerShard bounds how often a shard's results may fail
+// validation before the run is declared dead — without it, a lone
+// worker with a deterministic defect (e.g. a version-skewed binary
+// whose seeding changed) would recompute the same shard forever.
+const maxMalformedPerShard = 3
+
+// serve drives one worker: claim a shard, run it, bank the result;
+// on worker death requeue the shard and retire.
+func (d *dispatcher) serve(w Worker, wire WireParams, o sim.Options) {
+	for {
+		id, ok := d.claim()
+		if !ok {
+			return
+		}
+		r := d.shards[id]
+		job := &Job{ID: id, Start: r.Start, End: r.End, Params: wire, Options: o}
+		parts, err := w.Run(job)
+		if err != nil {
+			if je, isJob := err.(*JobError); isJob {
+				// The worker is alive but rejected the job: rerunning
+				// elsewhere would fail identically, so the run is dead.
+				d.fail(id, fmt.Errorf("shard: %w", je))
+				return
+			}
+			d.mu.Lock()
+			d.failures++
+			d.inflight--
+			if _, alreadyDone := d.done[id]; !alreadyDone {
+				d.queue = append(d.queue, id)
+			}
+			fmt.Fprintf(d.logw, "shard: worker %s died (%v); shard %d reassigned\n", w.Name(), err, id)
+			d.cond.Broadcast()
+			d.mu.Unlock()
+			return
+		}
+		d.bank(id, parts, true)
+	}
+}
+
+// claim blocks until a shard is available, all work is finished, or a
+// fatal error occurred. It returns (shard id, true) on assignment.
+func (d *dispatcher) claim() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.fatal != nil || len(d.done) == len(d.shards) {
+			return 0, false
+		}
+		if len(d.queue) > 0 {
+			min := 0
+			for i := range d.queue {
+				if d.queue[i] < d.queue[min] {
+					min = i
+				}
+			}
+			id := d.queue[min]
+			d.queue = append(d.queue[:min], d.queue[min+1:]...)
+			d.inflight++
+			return id, true
+		}
+		if d.inflight == 0 {
+			// Nothing queued, nothing running, not all done: every
+			// other worker is gone and there is no work to steal.
+			return 0, false
+		}
+		d.cond.Wait()
+	}
+}
+
+// bank records a completed shard exactly once; duplicates are counted
+// and dropped. fromRun marks results produced by this dispatcher's own
+// claim (to balance the inflight counter) versus stray deliveries.
+func (d *dispatcher) bank(id int, parts []sim.Partial, fromRun bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if fromRun {
+		d.inflight--
+	}
+	if id < 0 || id >= len(d.shards) {
+		fmt.Fprintf(d.logw, "shard: dropping result for unknown shard %d\n", id)
+		d.cond.Broadcast()
+		return
+	}
+	if _, dup := d.done[id]; dup {
+		d.dups++
+		fmt.Fprintf(d.logw, "shard: dropping duplicate result for shard %d\n", id)
+		d.cond.Broadcast()
+		return
+	}
+	r := d.shards[id]
+	if !tilesRange(parts, r.Start, r.End, d.seed, d.mission) {
+		// A malformed result (wrong range, seed, mission time or
+		// observation count) is dropped and the shard recomputed, like
+		// a worker death — up to a cap, beyond which the defect is
+		// clearly deterministic and the run is dead.
+		if d.malformed == nil {
+			d.malformed = make(map[int]int)
+		}
+		d.malformed[id]++
+		d.failures++
+		if d.malformed[id] >= maxMalformedPerShard {
+			d.failLocked(id, fmt.Errorf("shard: shard %d returned %d malformed results; aborting (worker defect?)",
+				id, d.malformed[id]))
+			return
+		}
+		fmt.Fprintf(d.logw, "shard: dropping malformed result for shard %d\n", id)
+		if !d.queued(id) {
+			d.queue = append(d.queue, id)
+		}
+		d.cond.Broadcast()
+		return
+	}
+	d.done[id] = parts
+	d.computed++
+	// Remove the shard from the queue if a stray delivery beat a
+	// pending reassignment to it.
+	for i := range d.queue {
+		if d.queue[i] == id {
+			d.queue = append(d.queue[:i], d.queue[i+1:]...)
+			break
+		}
+	}
+	if err := d.cp.record(id, parts); err != nil {
+		d.failLocked(id, err)
+		return
+	}
+	d.cond.Broadcast()
+}
+
+// queued reports whether shard id is already in the pending queue.
+// Callers hold d.mu.
+func (d *dispatcher) queued(id int) bool {
+	for _, q := range d.queue {
+		if q == id {
+			return true
+		}
+	}
+	return false
+}
+
+// bankStray records a result that arrived outside the request/response
+// pairing (a re-delivery or a late answer from a presumed-dead
+// worker).
+func (d *dispatcher) bankStray(id int, parts []sim.Partial) {
+	d.bank(id, parts, false)
+}
+
+func (d *dispatcher) fail(id int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inflight--
+	d.failLocked(id, err)
+}
+
+func (d *dispatcher) failLocked(id int, err error) {
+	if d.fatal == nil {
+		d.fatal = err
+	}
+	d.cond.Broadcast()
+}

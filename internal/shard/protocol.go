@@ -1,0 +1,239 @@
+// Package shard distributes a Monte-Carlo availability run across
+// processes and machines. A coordinator partitions the run's iteration
+// range [0, N) into contiguous shards along the canonical accumulation
+// cells of internal/sim, hands shards to workers — local processes
+// spawned via os/exec, or remote machines attached over TCP — and
+// folds the returned cell partials into a Summary that is bit-identical
+// to a single-process sim.Run, whatever the shard count, worker count
+// or schedule.
+//
+// The determinism rests on two contracts from lower layers: every
+// iteration reseeds its RNG stream from (seed, iteration index), so a
+// lifetime is a pure function of the master seed; and partials are
+// produced per canonical cell (sim.CellSize is a function of the
+// iteration count alone) and merged in cell order, so the
+// floating-point merge tree never depends on the partitioning.
+//
+// Workers speak a newline-delimited JSON protocol (one message object
+// per line): hello for version agreement, job to assign a shard,
+// result/error to answer. Completed shards are appended to a
+// checkpoint log, so a killed coordinator resumes without recomputing
+// them, and shards assigned to a worker that dies are handed to the
+// survivors. See README.md ("Sharded execution") for the full
+// protocol and failure-handling story.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"herald/internal/dist"
+	"herald/internal/sim"
+)
+
+// ProtocolVersion identifies the wire protocol; hello messages carry
+// it and mismatches abort the connection.
+const ProtocolVersion = 1
+
+// Message types.
+const (
+	// MsgHello is sent by a worker when it connects.
+	MsgHello = "hello"
+	// MsgJob assigns one shard to a worker.
+	MsgJob = "job"
+	// MsgResult returns a completed shard's cell partials.
+	MsgResult = "result"
+	// MsgError reports a job-level failure.
+	MsgError = "error"
+)
+
+// Message is the envelope of every protocol exchange: one JSON object
+// per line, with Type selecting which fields are meaningful.
+type Message struct {
+	Type string `json:"type"`
+	// Version accompanies hello.
+	Version int `json:"version,omitempty"`
+	// Job accompanies job messages.
+	Job *Job `json:"job,omitempty"`
+	// ID names the shard a result or error answers for.
+	ID int `json:"id"`
+	// Partials carry a result's per-cell outcomes.
+	Partials []sim.Partial `json:"partials,omitempty"`
+	// Error carries a job failure description.
+	Error string `json:"error,omitempty"`
+}
+
+// Job describes one shard assignment: the iteration range, plus the
+// full simulation configuration so a bare worker process needs no
+// other context.
+type Job struct {
+	ID      int         `json:"id"`
+	Start   int         `json:"start"`
+	End     int         `json:"end"`
+	Params  WireParams  `json:"params"`
+	Options sim.Options `json:"options"`
+}
+
+// WireParams is the serializable form of sim.ArrayParams, with every
+// distribution encoded as a dist.Spec.
+type WireParams struct {
+	Disks           int        `json:"disks"`
+	TTF             dist.Spec  `json:"ttf"`
+	Repair          dist.Spec  `json:"repair"`
+	TapeRestore     dist.Spec  `json:"tape_restore"`
+	HERecovery      *dist.Spec `json:"he_recovery,omitempty"`
+	HEP             float64    `json:"hep"`
+	CrashRate       float64    `json:"crash_rate"`
+	ResyncAfterUndo bool       `json:"resync_after_undo"`
+	Policy          int        `json:"policy"`
+	SpareRebuild    *dist.Spec `json:"spare_rebuild,omitempty"`
+	SpareSwap       *dist.Spec `json:"spare_swap,omitempty"`
+}
+
+// EncodeParams converts simulation parameters to their wire form.
+func EncodeParams(p sim.ArrayParams) (WireParams, error) {
+	w := WireParams{
+		Disks:           p.Disks,
+		HEP:             p.HEP,
+		CrashRate:       p.CrashRate,
+		ResyncAfterUndo: p.ResyncAfterUndo,
+		Policy:          int(p.Policy),
+	}
+	var err error
+	req := func(name string, d dist.Distribution) dist.Spec {
+		if err != nil {
+			return dist.Spec{}
+		}
+		if d == nil {
+			err = fmt.Errorf("shard: required distribution %s is nil", name)
+			return dist.Spec{}
+		}
+		sp, e := dist.SpecOf(d)
+		if e != nil {
+			err = fmt.Errorf("shard: %s: %w", name, e)
+		}
+		return sp
+	}
+	opt := func(name string, d dist.Distribution) *dist.Spec {
+		if err != nil || d == nil {
+			return nil
+		}
+		sp, e := dist.SpecOf(d)
+		if e != nil {
+			err = fmt.Errorf("shard: %s: %w", name, e)
+			return nil
+		}
+		return &sp
+	}
+	w.TTF = req("TTF", p.TTF)
+	w.Repair = req("Repair", p.Repair)
+	w.TapeRestore = req("TapeRestore", p.TapeRestore)
+	w.HERecovery = opt("HERecovery", p.HERecovery)
+	w.SpareRebuild = opt("SpareRebuild", p.SpareRebuild)
+	w.SpareSwap = opt("SpareSwap", p.SpareSwap)
+	if err != nil {
+		return WireParams{}, err
+	}
+	return w, nil
+}
+
+// Decode rebuilds the simulation parameters from their wire form.
+func (w WireParams) Decode() (sim.ArrayParams, error) {
+	p := sim.ArrayParams{
+		Disks:           w.Disks,
+		HEP:             w.HEP,
+		CrashRate:       w.CrashRate,
+		ResyncAfterUndo: w.ResyncAfterUndo,
+		Policy:          sim.Policy(w.Policy),
+	}
+	var err error
+	req := func(name string, sp dist.Spec) dist.Distribution {
+		if err != nil {
+			return nil
+		}
+		d, e := sp.Distribution()
+		if e != nil {
+			err = fmt.Errorf("shard: %s: %w", name, e)
+		}
+		return d
+	}
+	opt := func(name string, sp *dist.Spec) dist.Distribution {
+		if err != nil || sp == nil {
+			return nil
+		}
+		d, e := sp.Distribution()
+		if e != nil {
+			err = fmt.Errorf("shard: %s: %w", name, e)
+			return nil
+		}
+		return d
+	}
+	p.TTF = req("TTF", w.TTF)
+	p.Repair = req("Repair", w.Repair)
+	p.TapeRestore = req("TapeRestore", w.TapeRestore)
+	p.HERecovery = opt("HERecovery", w.HERecovery)
+	p.SpareRebuild = opt("SpareRebuild", w.SpareRebuild)
+	p.SpareSwap = opt("SpareSwap", w.SpareSwap)
+	if err != nil {
+		return sim.ArrayParams{}, err
+	}
+	return p, nil
+}
+
+// Transport frames Messages over a byte stream: newline-delimited JSON
+// in both directions. Send is safe for concurrent use; Recv is not.
+type Transport interface {
+	Send(*Message) error
+	Recv() (*Message, error)
+	Close() error
+}
+
+// connTransport implements Transport over any read-write stream (a
+// TCP connection, a child process's stdio pipes, an in-memory pipe in
+// tests).
+type connTransport struct {
+	mu   sync.Mutex
+	enc  *json.Encoder
+	dec  *json.Decoder
+	c    io.Closer
+	once sync.Once
+}
+
+// NewTransport frames newline-delimited JSON messages over rw. If rw
+// is an io.Closer, Close closes it.
+func NewTransport(rw io.ReadWriter) Transport {
+	t := &connTransport{
+		enc: json.NewEncoder(rw),
+		dec: json.NewDecoder(rw),
+	}
+	if c, ok := rw.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+func (t *connTransport) Send(m *Message) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enc.Encode(m)
+}
+
+func (t *connTransport) Recv() (*Message, error) {
+	var m Message
+	if err := t.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (t *connTransport) Close() error {
+	var err error
+	t.once.Do(func() {
+		if t.c != nil {
+			err = t.c.Close()
+		}
+	})
+	return err
+}

@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"testing"
+
+	"herald/internal/dist"
+	"herald/internal/sim"
+)
+
+// TestMain lets the test binary double as a shard worker process, so
+// SpawnLocal-based tests exercise the real os/exec path.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+func testParams(pol sim.Policy) sim.ArrayParams {
+	p := sim.PaperDefaults(4, 1e-4, 0.02)
+	p.Policy = pol
+	return p
+}
+
+func testOptions() sim.Options {
+	return sim.Options{Iterations: 2000, MissionTime: 2e5, Seed: 20170327, Workers: 2}
+}
+
+// summaryBytes renders a Summary to its canonical JSON for
+// byte-identity comparisons.
+func summaryBytes(t *testing.T, s sim.Summary) []byte {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardedMatchesSingleProcessAllPolicies is the determinism
+// contract: for every policy and a spread of shard and worker counts,
+// the sharded Summary must be byte-identical to the single-process
+// sim.Run baseline.
+func TestShardedMatchesSingleProcessAllPolicies(t *testing.T) {
+	for _, pol := range []sim.Policy{sim.Conventional, sim.AutoFailover, sim.DualParity} {
+		p := testParams(pol)
+		o := testOptions()
+		base, err := sim.Run(p, o)
+		if err != nil {
+			t.Fatalf("%v: baseline: %v", pol, err)
+		}
+		want := summaryBytes(t, base)
+		for _, cfg := range []struct{ shards, workers int }{
+			{1, 1}, {2, 2}, {5, 3}, {31, 4}, {1000, 2},
+		} {
+			workers := make([]Worker, cfg.workers)
+			for i := range workers {
+				workers[i] = NewInProcessWorker("w", 1)
+			}
+			got, st, err := RunStats(Config{Params: p, Options: o, Shards: cfg.shards, Workers: workers})
+			if err != nil {
+				t.Fatalf("%v shards=%d workers=%d: %v", pol, cfg.shards, cfg.workers, err)
+			}
+			if g := summaryBytes(t, got); string(g) != string(want) {
+				t.Errorf("%v shards=%d workers=%d: summary diverged\n got %s\nwant %s",
+					pol, cfg.shards, cfg.workers, g, want)
+			}
+			if st.Computed != st.Shards {
+				t.Errorf("%v shards=%d: computed %d of %d shards", pol, cfg.shards, st.Computed, st.Shards)
+			}
+		}
+	}
+}
+
+// TestShardedHistogramMatches extends byte-identity to the downtime
+// histogram path.
+func TestShardedHistogramMatches(t *testing.T) {
+	p := testParams(sim.Conventional)
+	o := testOptions()
+	o.HistogramBins = 32
+	base, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(Config{Params: p, Options: o, Shards: 4,
+		Workers: []Worker{NewInProcessWorker("a", 1), NewInProcessWorker("b", 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(summaryBytes(t, got)) != string(summaryBytes(t, base)) {
+		t.Error("histogram summary diverged from single-process baseline")
+	}
+}
+
+// TestProcessWorkersMatchSingleProcess runs real sibling worker
+// processes (the test binary re-executed via SpawnLocal) and checks
+// byte-identity against sim.Run.
+func TestProcessWorkersMatchSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	p := testParams(sim.Conventional)
+	o := testOptions()
+	base, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunLocal(p, o, 4, 2, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(summaryBytes(t, got)) != string(summaryBytes(t, base)) {
+		t.Error("process-sharded summary diverged from single-process baseline")
+	}
+}
+
+// TestTCPWorkerMatchesSingleProcess attaches a worker over a real TCP
+// connection (the remote-machine path) and checks byte-identity.
+func TestTCPWorkerMatchesSingleProcess(t *testing.T) {
+	addr := make(chan net.Addr, 1)
+	go func() {
+		_ = ListenAndServe("127.0.0.1:0", func(a net.Addr) { addr <- a })
+	}()
+	w, err := Dial((<-addr).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	p := testParams(sim.AutoFailover)
+	o := testOptions()
+	base, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(Config{Params: p, Options: o, Shards: 3, Workers: []Worker{w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(summaryBytes(t, got)) != string(summaryBytes(t, base)) {
+		t.Error("TCP-sharded summary diverged from single-process baseline")
+	}
+}
+
+// TestPartition pins the shard partition: contiguous, cell-aligned,
+// exactly tiling [0, n).
+func TestPartition(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 2000, 1_000_000} {
+		for _, s := range []int{1, 2, 7, 256, 100000} {
+			shards := Partition(n, s)
+			if len(shards) == 0 {
+				t.Fatalf("n=%d shards=%d: empty partition", n, s)
+			}
+			cursor := 0
+			for _, r := range shards {
+				if r.Start != cursor || r.End <= r.Start {
+					t.Fatalf("n=%d shards=%d: bad range %+v at cursor %d", n, s, r, cursor)
+				}
+				cs := sim.CellSize(n)
+				if r.Start%cs != 0 || (r.End%cs != 0 && r.End != n) {
+					t.Fatalf("n=%d shards=%d: range %+v not cell-aligned (cell %d)", n, s, r, cs)
+				}
+				cursor = r.End
+			}
+			if cursor != n {
+				t.Fatalf("n=%d shards=%d: partition ends at %d", n, s, cursor)
+			}
+		}
+	}
+}
+
+// TestWireParamsRoundTrip pins the parameter codec across policies and
+// non-exponential laws.
+func TestWireParamsRoundTrip(t *testing.T) {
+	p := testParams(sim.AutoFailover)
+	p.TTF = dist.WeibullFromMeanRate(1e-4, 1.48)
+	p.Repair = dist.LognormalFromMeanMedian(10, 6)
+	p.HERecovery = dist.NewHyperExponential([]float64{0.8, 0.2}, []float64{2, 0.1})
+	w, err := EncodeParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WireParams
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	q, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("decoded params invalid: %v", err)
+	}
+	if q.TTF.String() != p.TTF.String() || q.Repair.String() != p.Repair.String() ||
+		q.HERecovery.String() != p.HERecovery.String() {
+		t.Errorf("laws diverged after round-trip:\n%v\n%v", q, p)
+	}
+	if q.Disks != p.Disks || q.HEP != p.HEP || q.Policy != p.Policy || q.CrashRate != p.CrashRate {
+		t.Errorf("scalars diverged after round-trip:\n%+v\n%+v", q, p)
+	}
+
+	// A sharded run under the round-tripped params must agree exactly
+	// with the original (the codec rebuilds derived caches).
+	o := sim.Options{Iterations: 500, MissionTime: 1e5, Seed: 3, Workers: 2}
+	a, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(q, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(summaryBytes(t, a)) != string(summaryBytes(t, b)) {
+		t.Error("round-tripped params changed the simulation")
+	}
+}

@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+
+	"herald/internal/sim"
+)
+
+// Serve runs the worker side of the shard protocol over a transport:
+// it announces itself with a hello, then answers each job message with
+// a result (the job range's cell partials) or a job-scoped error. It
+// returns nil when the coordinator closes the stream.
+func Serve(t Transport) error {
+	if err := t.Send(&Message{Type: MsgHello, Version: ProtocolVersion}); err != nil {
+		return err
+	}
+	for {
+		m, err := t.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+				return nil
+			}
+			return err
+		}
+		switch m.Type {
+		case MsgJob:
+			if m.Job == nil {
+				if err := t.Send(&Message{Type: MsgError, ID: m.ID, Error: "job message without job"}); err != nil {
+					return err
+				}
+				continue
+			}
+			parts, jerr := runJob(m.Job)
+			var reply *Message
+			if jerr != nil {
+				reply = &Message{Type: MsgError, ID: m.Job.ID, Error: jerr.Error()}
+			} else {
+				reply = &Message{Type: MsgResult, ID: m.Job.ID, Partials: parts}
+			}
+			if err := t.Send(reply); err != nil {
+				return err
+			}
+		case MsgHello:
+			// Ignore: transports may echo hellos.
+		default:
+			if err := t.Send(&Message{Type: MsgError, ID: m.ID, Error: fmt.Sprintf("unknown message type %q", m.Type)}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runJob executes one shard assignment in this process.
+func runJob(j *Job) ([]sim.Partial, error) {
+	p, err := j.Params.Decode()
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunRange(p, j.Options, j.Start, j.End)
+}
+
+// ServeStream is Serve over a raw byte stream (a TCP connection or a
+// stdio pipe pair).
+func ServeStream(rw io.ReadWriter) error {
+	return Serve(NewTransport(rw))
+}
+
+// ListenAndServe runs a TCP worker: it accepts connections on addr and
+// serves the shard protocol on each, using every local core per job
+// unless the job says otherwise. The ready callback, when non-nil,
+// receives the bound address before accepting begins (useful with
+// ":0").
+func ListenAndServe(addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			_ = ServeStream(c)
+		}(conn)
+	}
+}
+
+// Worker executes shard jobs one at a time on behalf of the
+// coordinator.
+type Worker interface {
+	// Name identifies the worker in logs and errors.
+	Name() string
+	// Run executes one job, blocking until its result is available. A
+	// returned error means the worker is unusable (its job must be
+	// reassigned); job-scoped failures reported by a live remote
+	// worker surface as *JobError.
+	Run(job *Job) ([]sim.Partial, error)
+	// Close releases the worker's resources.
+	Close() error
+}
+
+// JobError is a job-scoped failure reported by a live worker: the
+// job's configuration was rejected rather than the worker dying. The
+// coordinator treats it as fatal for the run (re-running the same job
+// would fail again) instead of reassigning.
+type JobError struct {
+	ID  int
+	Msg string
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("shard %d: %s", e.ID, e.Msg) }
+
+// remoteWorker drives one protocol connection as a Worker. Stray
+// result messages — answers for shards this worker is not currently
+// running, e.g. re-deliveries after a presumed-lost connection — are
+// handed to onStray so the coordinator can still bank them (or drop
+// duplicates) instead of confusing them with the current job.
+type remoteWorker struct {
+	name string
+	t    Transport
+	// jobWorkers, when non-negative, overrides Job.Options.Workers for
+	// every job sent through this worker: 1 pins a local sibling
+	// process to one core; 0 lets a remote machine use all of its
+	// cores.
+	jobWorkers int
+	onStray    func(id int, parts []sim.Partial)
+}
+
+// strayBanker is implemented by workers that can surface stray result
+// deliveries; the coordinator installs its exactly-once sink here.
+type strayBanker interface {
+	setStray(func(id int, parts []sim.Partial))
+}
+
+func (w *remoteWorker) setStray(fn func(int, []sim.Partial)) { w.onStray = fn }
+
+// NewRemoteWorker wraps a protocol transport as a Worker. jobWorkers
+// overrides the per-job parallelism (-1 keeps the job's own setting).
+func NewRemoteWorker(name string, t Transport, jobWorkers int) Worker {
+	return &remoteWorker{name: name, t: t, jobWorkers: jobWorkers}
+}
+
+func (w *remoteWorker) Name() string { return w.name }
+
+func (w *remoteWorker) Run(job *Job) ([]sim.Partial, error) {
+	j := *job
+	if w.jobWorkers >= 0 {
+		j.Options.Workers = w.jobWorkers
+	}
+	if err := w.t.Send(&Message{Type: MsgJob, Job: &j}); err != nil {
+		return nil, fmt.Errorf("worker %s: send: %w", w.name, err)
+	}
+	for {
+		m, err := w.t.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("worker %s: recv: %w", w.name, err)
+		}
+		switch m.Type {
+		case MsgHello:
+			if m.Version != ProtocolVersion {
+				return nil, fmt.Errorf("worker %s: protocol version %d, want %d", w.name, m.Version, ProtocolVersion)
+			}
+		case MsgResult:
+			if m.ID == job.ID {
+				return m.Partials, nil
+			}
+			if w.onStray != nil {
+				w.onStray(m.ID, m.Partials)
+			}
+		case MsgError:
+			if m.ID == job.ID {
+				return nil, &JobError{ID: m.ID, Msg: m.Error}
+			}
+		default:
+			return nil, fmt.Errorf("worker %s: unexpected message type %q", w.name, m.Type)
+		}
+	}
+}
+
+func (w *remoteWorker) Close() error { return w.t.Close() }
+
+// Dial attaches a remote TCP worker (a process running
+// ListenAndServe, e.g. `availsim -shard-serve`). Jobs sent to it use
+// all of the remote machine's cores.
+func Dial(addr string) (Worker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("shard: dial %s: %w", addr, err)
+	}
+	return NewRemoteWorker("tcp:"+addr, NewTransport(conn), 0), nil
+}
+
+// inProcessWorker runs jobs directly in the coordinator's process.
+type inProcessWorker struct {
+	name    string
+	workers int
+}
+
+// NewInProcessWorker returns a Worker that executes jobs in this
+// process with the given parallelism (0 = GOMAXPROCS). It is the
+// zero-overhead backend for single-machine runs and tests.
+func NewInProcessWorker(name string, workers int) Worker {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &inProcessWorker{name: name, workers: workers}
+}
+
+func (w *inProcessWorker) Name() string { return w.name }
+
+func (w *inProcessWorker) Run(job *Job) ([]sim.Partial, error) {
+	j := *job
+	j.Options.Workers = w.workers
+	parts, err := runJob(&j)
+	if err != nil {
+		return nil, &JobError{ID: job.ID, Msg: err.Error()}
+	}
+	return parts, nil
+}
+
+func (w *inProcessWorker) Close() error { return nil }

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"herald/internal/stats"
+)
+
+// This file is the partitioning layer of the Monte-Carlo engine: it
+// decomposes a run's iteration range [0, N) into canonical
+// "accumulation cells", exposes RunRange to compute the cells of any
+// aligned sub-range, and Summarize to fold cell partials back into a
+// Summary. The decomposition is a pure function of N — never of the
+// worker count, shard count or schedule — so every partitioning of a
+// run produces the same floating-point merge tree and hence a
+// bit-identical Summary. internal/shard distributes RunRange calls
+// across processes and machines on top of this contract.
+
+const (
+	// maxCells caps the canonical cell count per run: enough
+	// parallelism grain for hundreds of cores without bloating the
+	// partial set a sharded run ships over the wire.
+	maxCells = 256
+	// minCellIterations floors the cell width so tiny runs do not
+	// shatter into per-iteration partials.
+	minCellIterations = 64
+)
+
+// Range is a half-open iteration index interval [Start, End).
+type Range struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the number of iterations in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// CellSize returns the canonical accumulation-cell width for a run of
+// n iterations. It depends on n alone, which is what makes sharded
+// results reproducible: any partitioning of [0, n) along cell
+// boundaries yields the same cells, accumulated in the same iteration
+// order and merged in the same index order.
+func CellSize(n int) int {
+	c := (n + maxCells - 1) / maxCells
+	if c < minCellIterations {
+		c = minCellIterations
+	}
+	return c
+}
+
+// Cells returns the canonical cell decomposition of [0, n).
+func Cells(n int) []Range {
+	return cellsIn(n, 0, n)
+}
+
+// cellsIn returns the canonical cells of a run of n iterations that
+// tile [start, end). The bounds must be cell-aligned.
+func cellsIn(n, start, end int) []Range {
+	cs := CellSize(n)
+	out := make([]Range, 0, (end-start+cs-1)/cs)
+	for lo := start; lo < end; lo += cs {
+		hi := lo + cs
+		if hi > end {
+			hi = end
+		}
+		out = append(out, Range{Start: lo, End: hi})
+	}
+	return out
+}
+
+// Partial carries the mergeable outcome of one contiguous iteration
+// range: the availability and downtime accumulators, the event census,
+// and the optional downtime histogram, plus the seed/range metadata a
+// coordinator needs to verify exactly-once coverage. It serializes to
+// JSON, which is how shard workers return results and how checkpoints
+// persist completed shards.
+type Partial struct {
+	// Start and End delimit the half-open iteration range [Start, End).
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Seed and MissionTime echo the options the range was run under;
+	// Summarize rejects partials from a different configuration.
+	Seed        uint64  `json:"seed"`
+	MissionTime float64 `json:"mission_time"`
+	// Avail accumulates per-iteration availability; DownDU and DownDL
+	// accumulate per-iteration downtime hours by cause.
+	Avail  stats.Accumulator `json:"avail"`
+	DownDU stats.Accumulator `json:"down_du"`
+	DownDL stats.Accumulator `json:"down_dl"`
+	// Events is the incident census of the range.
+	Events EventCounts `json:"events"`
+	// Hist is the per-iteration downtime histogram when
+	// Options.HistogramBins was set; nil otherwise.
+	Hist *stats.Histogram `json:"hist,omitempty"`
+}
+
+// histMaxFor returns the downtime histogram's upper edge for the run
+// options (default: 1% of the mission time).
+func histMaxFor(o Options) float64 {
+	if o.HistogramMaxHours > 0 {
+		return o.HistogramMaxHours
+	}
+	return o.MissionTime / 100
+}
+
+// runCell walks every iteration of one canonical cell sequentially and
+// returns its partial. Sequential per-cell accumulation plus
+// per-iteration stream reseeding makes the partial a pure function of
+// (params, options, cell) — independent of which worker, process or
+// machine computed it.
+func (sc *scratch) runCell(c Range, opts Options, histMax float64) Partial {
+	pt := Partial{Start: c.Start, End: c.End, Seed: opts.Seed, MissionTime: opts.MissionTime}
+	if opts.HistogramBins > 0 {
+		pt.Hist = stats.NewHistogram(0, histMax, opts.HistogramBins)
+	}
+	for it := c.Start; it < c.End; it++ {
+		is := sc.iterate(opts.Seed, it, opts.MissionTime)
+		down := is.downDU + is.downDL
+		pt.Avail.Add(1 - down/opts.MissionTime)
+		pt.DownDU.Add(is.downDU)
+		pt.DownDL.Add(is.downDL)
+		pt.Events.Merge(is.events)
+		if pt.Hist != nil {
+			pt.Hist.Add(down)
+		}
+	}
+	return pt
+}
+
+// RunRange executes the iterations of [start, end) and returns one
+// Partial per canonical cell, in cell order. The bounds must lie on
+// cell boundaries of the full run (CellSize(o.Iterations)); end ==
+// o.Iterations is always a valid boundary. Cells are computed in
+// parallel across Options.Workers goroutines, but each cell is
+// accumulated sequentially, so the returned partials do not depend on
+// the schedule.
+func RunRange(p ArrayParams, o Options, start, end int) ([]Partial, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if start < 0 || end > o.Iterations || start >= end {
+		return nil, fmt.Errorf("sim: range [%d,%d) outside run [0,%d)", start, end, o.Iterations)
+	}
+	cs := CellSize(o.Iterations)
+	if start%cs != 0 || (end%cs != 0 && end != o.Iterations) {
+		return nil, fmt.Errorf("sim: range [%d,%d) not aligned to the %d-iteration cells of a %d-iteration run",
+			start, end, cs, o.Iterations)
+	}
+	opts := o.withDefaults()
+	histMax := histMaxFor(opts)
+	cells := cellsIn(opts.Iterations, start, end)
+	parts := make([]Partial, len(cells))
+	workers := opts.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newScratch(&p)
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= len(cells) {
+					return
+				}
+				parts[ci] = sc.runCell(cells[ci], opts, histMax)
+			}
+		}()
+	}
+	wg.Wait()
+	return parts, nil
+}
+
+// Summarize folds partials covering [0, o.Iterations) into a Summary.
+// It enforces exactly-once merging: the partials, sorted by Start,
+// must tile the run with no gap, overlap or duplicate, each must carry
+// exactly End-Start observations, and each must have been produced
+// under the same seed and mission time. Partials produced along the
+// canonical cell boundaries (RunRange output, in any grouping) fold in
+// a fixed order, so the Summary is bit-identical however the run was
+// partitioned.
+func Summarize(o Options, parts []Partial) (Summary, error) {
+	if err := o.Validate(); err != nil {
+		return Summary{}, err
+	}
+	opts := o.withDefaults()
+	if len(parts) == 0 {
+		return Summary{}, fmt.Errorf("sim: no partials to summarize")
+	}
+	sorted := append([]Partial(nil), parts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+
+	var acc, du, dl stats.Accumulator
+	var events EventCounts
+	var hist *stats.Histogram
+	cursor := 0
+	for i := range sorted {
+		pt := &sorted[i]
+		if pt.Seed != opts.Seed {
+			return Summary{}, fmt.Errorf("sim: partial [%d,%d) ran under seed %d, want %d",
+				pt.Start, pt.End, pt.Seed, opts.Seed)
+		}
+		if pt.MissionTime != opts.MissionTime {
+			return Summary{}, fmt.Errorf("sim: partial [%d,%d) ran under mission time %v, want %v",
+				pt.Start, pt.End, pt.MissionTime, opts.MissionTime)
+		}
+		if pt.End <= pt.Start || pt.End > opts.Iterations {
+			return Summary{}, fmt.Errorf("sim: invalid partial range [%d,%d)", pt.Start, pt.End)
+		}
+		if pt.Start < cursor {
+			return Summary{}, fmt.Errorf("sim: partial [%d,%d) duplicates or overlaps iterations before %d",
+				pt.Start, pt.End, cursor)
+		}
+		if pt.Start > cursor {
+			return Summary{}, fmt.Errorf("sim: iterations [%d,%d) missing from partials", cursor, pt.Start)
+		}
+		if got, want := pt.Avail.N(), int64(pt.End-pt.Start); got != want {
+			return Summary{}, fmt.Errorf("sim: partial [%d,%d) carries %d observations, want %d",
+				pt.Start, pt.End, got, want)
+		}
+		acc.Merge(&pt.Avail)
+		du.Merge(&pt.DownDU)
+		dl.Merge(&pt.DownDL)
+		events.Merge(pt.Events)
+		if pt.Hist != nil {
+			if hist == nil {
+				h := *pt.Hist
+				h.Counts = append([]int64(nil), pt.Hist.Counts...)
+				hist = &h
+			} else {
+				if pt.Hist.Lo != hist.Lo || pt.Hist.Hi != hist.Hi || len(pt.Hist.Counts) != len(hist.Counts) {
+					return Summary{}, fmt.Errorf("sim: partial [%d,%d) carries a histogram binned [%v,%v)x%d, want [%v,%v)x%d",
+						pt.Start, pt.End, pt.Hist.Lo, pt.Hist.Hi, len(pt.Hist.Counts), hist.Lo, hist.Hi, len(hist.Counts))
+				}
+				hist.Merge(pt.Hist)
+			}
+		}
+		cursor = pt.End
+	}
+	if cursor != opts.Iterations {
+		return Summary{}, fmt.Errorf("sim: iterations [%d,%d) missing from partials", cursor, opts.Iterations)
+	}
+
+	avail := acc.Mean()
+	return Summary{
+		Availability:      avail,
+		HalfWidth:         acc.HalfWidth(opts.Confidence),
+		Nines:             stats.Nines(avail),
+		MeanDowntimeDU:    du.Mean(),
+		MeanDowntimeDL:    dl.Mean(),
+		Iterations:        opts.Iterations,
+		MissionTime:       opts.MissionTime,
+		Confidence:        opts.Confidence,
+		Events:            events,
+		DowntimeHistogram: hist,
+	}, nil
+}

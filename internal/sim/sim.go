@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"herald/internal/dist"
 	"herald/internal/stats"
@@ -215,7 +214,11 @@ type EventCounts struct {
 	UndoAttempts   int64 // human-error recovery attempts
 }
 
-func (e *EventCounts) add(o EventCounts) {
+// Merge folds another census into this one. It is the integer
+// counterpart of stats.Accumulator.Merge: shard partials and external
+// callers combine per-range counts with it, and unlike the
+// floating-point accumulators it is exactly associative.
+func (e *EventCounts) Merge(o EventCounts) {
 	e.Failures += o.Failures
 	e.DoubleFailures += o.DoubleFailures
 	e.HumanErrors += o.HumanErrors
@@ -264,102 +267,24 @@ type iterStats struct {
 }
 
 // Run executes the Monte-Carlo experiment and returns its summary.
+//
+// The run is decomposed into the canonical accumulation cells of
+// [0, Iterations) (see CellSize): workers pull cells off a shared
+// counter, accumulate each cell sequentially, and the cell partials
+// are folded in index order by Summarize. Because the decomposition
+// and fold order depend only on the iteration count, the Summary is
+// bit-identical for every worker count — and identical to a sharded
+// run (internal/shard) that partitions the same cells across
+// processes or machines.
 func Run(p ArrayParams, o Options) (Summary, error) {
-	if err := p.Validate(); err != nil {
+	if o.Iterations < 1 {
+		return Summary{}, fmt.Errorf("sim: iterations %d must be positive", o.Iterations)
+	}
+	parts, err := RunRange(p, o, 0, o.Iterations)
+	if err != nil {
 		return Summary{}, err
 	}
-	if err := o.Validate(); err != nil {
-		return Summary{}, err
-	}
-	opts := o.withDefaults()
-	workers := opts.Workers
-	if workers > opts.Iterations {
-		workers = opts.Iterations
-	}
-
-	histMax := opts.HistogramMaxHours
-	if opts.HistogramBins > 0 && histMax <= 0 {
-		histMax = opts.MissionTime / 100
-	}
-
-	type batch struct {
-		acc    stats.Accumulator
-		du, dl stats.Accumulator
-		events EventCounts
-		hist   *stats.Histogram
-	}
-	// Iterations are split into contiguous chunks — one per worker —
-	// instead of strided, so each worker walks a disjoint index range.
-	// Every iteration reseeds its stream from (Seed, iteration index),
-	// making the drawn lifetimes a pure function of the master seed,
-	// independent of the worker count or schedule. Workers accumulate
-	// into a goroutine-local batch and publish it once, so no cache
-	// line is shared while the loop runs.
-	chunk := (opts.Iterations + workers - 1) / workers
-	results := make([]batch, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > opts.Iterations {
-			hi = opts.Iterations
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			sc := newScratch(&p)
-			var b batch
-			if opts.HistogramBins > 0 {
-				b.hist = stats.NewHistogram(0, histMax, opts.HistogramBins)
-			}
-			for it := lo; it < hi; it++ {
-				is := sc.iterate(opts.Seed, it, opts.MissionTime)
-				down := is.downDU + is.downDL
-				b.acc.Add(1 - down/opts.MissionTime)
-				b.du.Add(is.downDU)
-				b.dl.Add(is.downDL)
-				b.events.add(is.events)
-				if b.hist != nil {
-					b.hist.Add(down)
-				}
-			}
-			results[w] = b
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	var acc, du, dl stats.Accumulator
-	var events EventCounts
-	var hist *stats.Histogram
-	for i := range results {
-		acc.Merge(&results[i].acc)
-		du.Merge(&results[i].du)
-		dl.Merge(&results[i].dl)
-		events.add(results[i].events)
-		if results[i].hist != nil {
-			if hist == nil {
-				hist = results[i].hist
-			} else {
-				hist.Merge(results[i].hist)
-			}
-		}
-	}
-	avail := acc.Mean()
-	return Summary{
-		Availability:      avail,
-		HalfWidth:         acc.HalfWidth(opts.Confidence),
-		Nines:             stats.Nines(avail),
-		MeanDowntimeDU:    du.Mean(),
-		MeanDowntimeDL:    dl.Mean(),
-		Iterations:        opts.Iterations,
-		MissionTime:       opts.MissionTime,
-		Confidence:        opts.Confidence,
-		Events:            events,
-		DowntimeHistogram: hist,
-	}, nil
+	return Summarize(o, parts)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestAccumulatorJSONRoundTrip pins the serialization shard partials
+// rely on: an accumulator restored from JSON must be bit-identical —
+// including continued accumulation and merging behavior.
+func TestAccumulatorJSONRoundTrip(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{1e-9, 0.5, -3, 2.25, 1e12, 0.1} {
+		a.Add(x)
+	}
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Accumulator
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("round-trip changed the accumulator:\n%+v\n%+v", a, b)
+	}
+	// Continue the stream on both: still identical.
+	a.Add(7.5)
+	b.Add(7.5)
+	if a != b {
+		t.Fatalf("accumulation diverged after round-trip:\n%+v\n%+v", a, b)
+	}
+	var ma, mb Accumulator
+	ma.Add(2)
+	mb.Add(2)
+	ma.Merge(&a)
+	mb.Merge(&b)
+	if ma != mb {
+		t.Fatalf("merge diverged after round-trip:\n%+v\n%+v", ma, mb)
+	}
+}
+
+// TestAccumulatorStateRoundTrip covers the explicit snapshot API.
+func TestAccumulatorStateRoundTrip(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(4)
+	var b Accumulator
+	b.SetState(a.State())
+	if a != b {
+		t.Fatalf("SetState(State()) changed the accumulator:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestHistogramJSONRoundTrip checks the histogram keeps its counts,
+// edges and (unexported) running total across serialization.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 2.5, 9.99, 10, 55} {
+		h.Add(x)
+	}
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := new(Histogram)
+	if err := json.Unmarshal(raw, g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Lo != h.Lo || g.Hi != h.Hi || g.Underflow != h.Underflow || g.Overflow != h.Overflow {
+		t.Fatalf("edges/outliers diverged: %+v vs %+v", g, h)
+	}
+	if g.Total() != h.Total() {
+		t.Fatalf("total %d, want %d", g.Total(), h.Total())
+	}
+	for i := range h.Counts {
+		if g.Counts[i] != h.Counts[i] {
+			t.Fatalf("bin %d: %d, want %d", i, g.Counts[i], h.Counts[i])
+		}
+	}
+	// Restored histograms must merge with originals (same binning).
+	g.Merge(h)
+	if g.Total() != 2*h.Total() {
+		t.Fatalf("merge after round-trip: total %d, want %d", g.Total(), 2*h.Total())
+	}
+	// Invalid payloads are rejected.
+	if err := json.Unmarshal([]byte(`{"lo":1,"hi":0,"counts":[1]}`), new(Histogram)); err == nil {
+		t.Error("inverted-edge histogram accepted")
+	}
+}

@@ -9,6 +9,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -67,6 +68,45 @@ func (a *Accumulator) Merge(b *Accumulator) {
 		a.max = b.max
 	}
 	a.n = total
+}
+
+// AccumulatorState is the exported snapshot of an Accumulator: the
+// exact sufficient statistics of the stream seen so far. It is the
+// wire and checkpoint representation used by sharded Monte-Carlo runs;
+// restoring a state and continuing reproduces the accumulator
+// bit-for-bit.
+type AccumulatorState struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State returns the accumulator's exact snapshot.
+func (a *Accumulator) State() AccumulatorState {
+	return AccumulatorState{N: a.n, Mean: a.mean, M2: a.m2, Min: a.min, Max: a.max}
+}
+
+// SetState overwrites the accumulator with a previously captured
+// snapshot.
+func (a *Accumulator) SetState(st AccumulatorState) {
+	a.n, a.mean, a.m2, a.min, a.max = st.N, st.Mean, st.M2, st.Min, st.Max
+}
+
+// MarshalJSON encodes the accumulator as its AccumulatorState.
+func (a Accumulator) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.State())
+}
+
+// UnmarshalJSON decodes an AccumulatorState back into the accumulator.
+func (a *Accumulator) UnmarshalJSON(b []byte) error {
+	var st AccumulatorState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	a.SetState(st)
+	return nil
 }
 
 // N returns the number of observations.
@@ -415,6 +455,39 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.Underflow += o.Underflow
 	h.Overflow += o.Overflow
 	h.total += o.total
+}
+
+// histogramState is the JSON shape of a Histogram, carrying the
+// unexported running total across process boundaries.
+type histogramState struct {
+	Lo        float64 `json:"lo"`
+	Hi        float64 `json:"hi"`
+	Counts    []int64 `json:"counts"`
+	Underflow int64   `json:"underflow"`
+	Overflow  int64   `json:"overflow"`
+	Total     int64   `json:"total"`
+}
+
+// MarshalJSON encodes the histogram including its observation total.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramState{
+		Lo: h.Lo, Hi: h.Hi, Counts: h.Counts,
+		Underflow: h.Underflow, Overflow: h.Overflow, Total: h.total,
+	})
+}
+
+// UnmarshalJSON decodes a histogram serialized by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var st histogramState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	if st.Hi <= st.Lo || len(st.Counts) < 1 {
+		return fmt.Errorf("stats: invalid histogram [%v,%v) with %d bins", st.Lo, st.Hi, len(st.Counts))
+	}
+	h.Lo, h.Hi, h.Counts = st.Lo, st.Hi, st.Counts
+	h.Underflow, h.Overflow, h.total = st.Underflow, st.Overflow, st.Total
+	return nil
 }
 
 // BinCenter returns the midpoint of bin i.

@@ -201,9 +201,11 @@ func init() {
 	}
 }
 
-// NormFloat64 returns a standard normal variate using the Marsaglia
-// polar method.
-func (s *Source) NormFloat64() float64 {
+// NormPolarFloat64 returns a standard normal variate using the
+// Marsaglia polar method. It is the reference sampler the ziggurat
+// NormFloat64 is cross-checked against; hot paths should prefer
+// NormFloat64.
+func (s *Source) NormPolarFloat64() float64 {
 	for {
 		u := 2*s.Float64() - 1
 		v := 2*s.Float64() - 1
