@@ -150,33 +150,59 @@ func BenchmarkSteadyStateFailover(b *testing.B) {
 	}
 }
 
-// BenchmarkMCIterationConventional measures Monte-Carlo throughput for
-// the conventional policy (iterations/op is the configured count).
-func BenchmarkMCIterationConventional(b *testing.B) {
+// benchMCIteration measures Monte-Carlo throughput for one policy and
+// kernel on the default (exponential) configuration; 100 iterations
+// per op. KernelAuto rows resolve to the memoryless specialization,
+// the KernelGeneric rows pin the clock-walker fallback so the
+// benchcheck gate watches both sides of the dispatch.
+func benchMCIteration(b *testing.B, pol sim.Policy, k sim.Kernel) {
 	p := sim.PaperDefaults(4, 1e-5, 0.01)
+	p.Policy = pol
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(p, sim.Options{
-			Iterations: 100, MissionTime: 1e6, Seed: uint64(i), Workers: 1,
+			Iterations: 100, MissionTime: 1e6, Seed: uint64(i), Workers: 1, Kernel: k,
 		}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+// BenchmarkMCIterationConventional measures Monte-Carlo throughput for
+// the conventional policy (iterations/op is the configured count).
+// Since the kernel dispatch layer this runs the memoryless walker.
+func BenchmarkMCIterationConventional(b *testing.B) {
+	benchMCIteration(b, sim.Conventional, sim.KernelAuto)
+}
+
+// BenchmarkMCIterationConventionalGeneric pins the generic clock
+// walker on the same configuration.
+func BenchmarkMCIterationConventionalGeneric(b *testing.B) {
+	benchMCIteration(b, sim.Conventional, sim.KernelGeneric)
+}
+
 // BenchmarkMCIterationFailover measures Monte-Carlo throughput for the
-// fail-over policy.
+// fail-over policy (memoryless walker via KernelAuto).
 func BenchmarkMCIterationFailover(b *testing.B) {
-	p := sim.PaperDefaults(4, 1e-5, 0.01)
-	p.Policy = sim.AutoFailover
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(p, sim.Options{
-			Iterations: 100, MissionTime: 1e6, Seed: uint64(i), Workers: 1,
-		}); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchMCIteration(b, sim.AutoFailover, sim.KernelAuto)
+}
+
+// BenchmarkMCIterationFailoverGeneric pins the generic fail-over
+// walker with its cached two-min phase scans.
+func BenchmarkMCIterationFailoverGeneric(b *testing.B) {
+	benchMCIteration(b, sim.AutoFailover, sim.KernelGeneric)
+}
+
+// BenchmarkMCIterationDualParity measures the dual-parity policy
+// (memoryless walker via KernelAuto).
+func BenchmarkMCIterationDualParity(b *testing.B) {
+	benchMCIteration(b, sim.DualParity, sim.KernelAuto)
+}
+
+// BenchmarkMCIterationDualParityGeneric pins the generic dual-parity
+// walker.
+func BenchmarkMCIterationDualParityGeneric(b *testing.B) {
+	benchMCIteration(b, sim.DualParity, sim.KernelGeneric)
 }
 
 // BenchmarkMTTDL measures the absorbing-chain analysis.

@@ -163,6 +163,7 @@ func main() {
 		muCH        = flag.Float64("mu-ch", 1, "spare swap rate (failover)")
 		lambdaCrash = flag.Float64("lambda-crash", 0.01, "pulled-disk crash rate (1/h)")
 		noResync    = flag.Bool("no-resync", false, "skip the post-undo resync outage")
+		kernel      = flag.String("kernel", "auto", "Monte-Carlo kernel: auto (rate-based walkers when every law is exponential), generic (per-disk clock walkers) or memoryless (force; rejects non-exponential laws)")
 		iters       = flag.Int("iters", 20000, "Monte-Carlo iterations (paper: 1e6)")
 		mission     = flag.Float64("mission", 1e6, "mission time per iteration (h)")
 		seed        = flag.Uint64("seed", 42, "PRNG seed")
@@ -239,12 +240,25 @@ func main() {
 		exitOn(fmt.Errorf("unknown -policy %q (want conventional, failover or dualparity)", *policy))
 	}
 
+	kern, err2 := sim.ParseKernel(*kernel)
+	if err2 != nil {
+		exitOn(err2)
+	}
+	// Resolve eagerly so -kernel memoryless on a non-exponential law
+	// fails before any sharded machinery spins up, and so the report
+	// can name the kernel that actually ran.
+	resolved, err2 := sim.ResolveKernel(p, kern)
+	if err2 != nil {
+		exitOn(err2)
+	}
+
 	o := sim.Options{
 		Iterations:  *iters,
 		MissionTime: *mission,
 		Seed:        *seed,
 		Workers:     *workers,
 		Confidence:  *confidence,
+		Kernel:      kern,
 	}
 	var s sim.Summary
 	if *shards > 1 || *shardConnect != "" || *checkpoint != "" {
@@ -268,7 +282,7 @@ func main() {
 	t.AddRow("human errors", fmt.Sprintf("%d", s.Events.HumanErrors))
 	t.AddRow("pulled-disk crashes", fmt.Sprintf("%d", s.Events.Crashes))
 	t.AddRow("undo attempts", fmt.Sprintf("%d", s.Events.UndoAttempts))
-	t.AddNote("%d iterations x %.3g h mission, seed %d", s.Iterations, s.MissionTime, *seed)
+	t.AddNote("%d iterations x %.3g h mission, seed %d, %s kernel", s.Iterations, s.MissionTime, *seed, resolved)
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		exitOn(err)
 	}

@@ -89,8 +89,12 @@ type delta struct {
 // compare matches benchmarks by name (filtered by match) and flags
 // regressions beyond threshold. Gated baseline benchmarks absent from
 // the current report are returned in missing — a renamed or dropped
-// kernel benchmark must be visible, not silently un-gated.
-func compare(base, cur map[string]benchmark, match *regexp.Regexp, threshold float64) (out []delta, missing []string) {
+// kernel benchmark must be visible, not silently un-gated. The
+// reverse direction is tolerated by construction: benchmarks present
+// only in the current report (newly added kernels not yet in older
+// BENCH_*.json baselines) are returned in added and never gate — they
+// start gating once a baseline containing them is committed.
+func compare(base, cur map[string]benchmark, match *regexp.Regexp, threshold float64) (out []delta, missing, added []string) {
 	for name, b := range base {
 		if match != nil && !match.MatchString(name) {
 			continue
@@ -109,9 +113,18 @@ func compare(base, cur map[string]benchmark, match *regexp.Regexp, threshold flo
 			Regression: ratio > threshold,
 		})
 	}
+	for name := range cur {
+		if match != nil && !match.MatchString(name) {
+			continue
+		}
+		if _, ok := base[name]; !ok {
+			added = append(added, name)
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
 	sort.Strings(missing)
-	return out, missing
+	sort.Strings(added)
+	return out, missing, added
 }
 
 func main() {
@@ -119,8 +132,10 @@ func main() {
 		baseline  = flag.String("baseline", "", "committed baseline JSON (e.g. the newest BENCH_*.json)")
 		current   = flag.String("current", "", "fresh report JSON (scripts/bench.sh output)")
 		threshold = flag.Float64("threshold", 0.20, "fail when ns/op grows by more than this fraction")
-		match     = flag.String("match", "MCIteration|SampleN|ExpFloat64|NormFloat64|StudentTQuantile|SteadyState",
+		match     = flag.String("match", "MCIteration|SampleN|ExpFloat64|NormFloat64|Uint32n|StudentTQuantile|SteadyState",
 			"regexp selecting the kernel benchmarks to gate on")
+		missingIs = flag.String("missing", "warn",
+			"how to treat gated baseline benchmarks absent from the current report: warn or fail")
 	)
 	flag.Parse()
 	if *baseline == "" || *current == "" {
@@ -147,9 +162,19 @@ func main() {
 			baseCPU, curCPU)
 	}
 
-	deltas, missing := compare(base, cur, re, *threshold)
+	if *missingIs != "warn" && *missingIs != "fail" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -missing must be warn or fail")
+		os.Exit(2)
+	}
+
+	deltas, missing, added := compare(base, cur, re, *threshold)
 	for _, name := range missing {
-		fmt.Fprintf(os.Stderr, "benchcheck: warning: gated baseline benchmark %s is missing from the current report\n", name)
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: gated baseline benchmark %s is missing from the current report\n", *missingIs, name)
+	}
+	for _, name := range added {
+		// New benchmarks (e.g. kernels absent from older BENCH_*.json)
+		// are informational until a baseline containing them lands.
+		fmt.Fprintf(os.Stderr, "benchcheck: note: %s is new in the current report; it gates once a baseline includes it\n", name)
 	}
 	if len(deltas) == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no matching benchmarks shared by baseline and current report")
@@ -166,6 +191,10 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchcheck: %d kernel benchmark(s) regressed more than %.0f%%\n", failed, 100**threshold)
+		os.Exit(1)
+	}
+	if len(missing) > 0 && *missingIs == "fail" {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d gated benchmark(s) missing from the current report\n", len(missing))
 		os.Exit(1)
 	}
 	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of baseline\n", len(deltas), 100**threshold)

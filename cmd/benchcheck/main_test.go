@@ -71,12 +71,15 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		"BenchmarkIgnored":                 {Name: "BenchmarkIgnored", NsPerOp: 1000},                // filtered out
 	}
 	re := regexp.MustCompile("MCIteration|SampleN|OnlyInBase")
-	ds, missing := compare(base, cur, re, 0.20)
+	ds, missing, added := compare(base, cur, re, 0.20)
 	if len(ds) != 2 {
 		t.Fatalf("compared %d benchmarks, want 2", len(ds))
 	}
 	if len(missing) != 1 || missing[0] != "BenchmarkOnlyInBase" {
 		t.Errorf("missing = %v, want the dropped gated benchmark surfaced", missing)
+	}
+	if len(added) != 0 {
+		t.Errorf("added = %v, want none", added)
 	}
 	// Sorted worst-first.
 	if ds[0].Name != "BenchmarkMCIterationConventional" || !ds[0].Regression {
@@ -90,8 +93,38 @@ func TestCompareFlagsRegressions(t *testing.T) {
 func TestCompareImprovementNotFlagged(t *testing.T) {
 	base := map[string]benchmark{"BenchmarkMCIterationConventional": {NsPerOp: 100}}
 	cur := map[string]benchmark{"BenchmarkMCIterationConventional": {NsPerOp: 40}}
-	ds, _ := compare(base, cur, nil, 0.20)
+	ds, _, _ := compare(base, cur, nil, 0.20)
 	if len(ds) != 1 || ds[0].Regression {
 		t.Fatalf("improvement flagged as regression: %+v", ds)
+	}
+}
+
+// TestCompareToleratesNewBenchmarks pins the forward-compatibility
+// contract: kernel benchmarks added in this PR are absent from older
+// BENCH_*.json baselines and must neither gate nor error — they are
+// surfaced in added and start gating once a baseline includes them.
+func TestCompareToleratesNewBenchmarks(t *testing.T) {
+	base := map[string]benchmark{
+		"BenchmarkMCIterationConventional": {NsPerOp: 145000},
+	}
+	cur := map[string]benchmark{
+		"BenchmarkMCIterationConventional":        {NsPerOp: 60000},  // the specialized kernel
+		"BenchmarkMCIterationConventionalGeneric": {NsPerOp: 145000}, // new in this report
+		"BenchmarkMCIterationDualParity":          {NsPerOp: 80000},  // new in this report
+		"BenchmarkUnrelated":                      {NsPerOp: 1},      // not gated
+	}
+	re := regexp.MustCompile("MCIteration")
+	ds, missing, added := compare(base, cur, re, 0.20)
+	if len(missing) != 0 {
+		t.Errorf("missing = %v, want none", missing)
+	}
+	want := []string{"BenchmarkMCIterationConventionalGeneric", "BenchmarkMCIterationDualParity"}
+	if len(added) != len(want) || added[0] != want[0] || added[1] != want[1] {
+		t.Errorf("added = %v, want %v", added, want)
+	}
+	for _, d := range ds {
+		if d.Regression {
+			t.Errorf("unexpected regression %+v", d)
+		}
 	}
 }

@@ -25,13 +25,14 @@ func main() {
 	shard.MaybeWorker()
 
 	var (
-		fig     = flag.String("fig", "all", "experiment id: "+strings.Join(repro.All(), ", ")+" or all")
-		iters   = flag.Int("iters", 0, "Monte-Carlo iterations per point (0 = default 4000; paper used 1e6)")
-		mission = flag.Float64("mission", 0, "mission time per iteration in hours (0 = default 1e6)")
-		seed    = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); with -full, the worker-process count")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		full    = flag.Bool("full", false, "run the paper-scale sweep (policies x HEP at 1e6 iterations/point) sharded across all cores")
+		fig      = flag.String("fig", "all", "experiment id: "+strings.Join(repro.All(), ", ")+" or all")
+		iters    = flag.Int("iters", 0, "Monte-Carlo iterations per point (0 = default 4000; paper used 1e6)")
+		mission  = flag.Float64("mission", 0, "mission time per iteration in hours (0 = default 1e6)")
+		seed     = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); with -full, the worker-process count")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		full     = flag.Bool("full", false, "run the paper-scale sweep (policies x HEP at 1e6 iterations/point) sharded across all cores")
+		undoLaws = flag.Bool("undo-laws", false, "shorthand for -fig undo-laws: compare hyper-exponential / lognormal human-error undo latencies against the paper's exponential assumption")
 	)
 	flag.Parse()
 
@@ -51,7 +52,13 @@ func main() {
 	}
 
 	ids := repro.All()
-	if *fig != "all" {
+	if *undoLaws {
+		if *fig != "all" {
+			fmt.Fprintln(os.Stderr, "repro: -undo-laws and -fig are mutually exclusive (use -fig undo-laws to combine with nothing else)")
+			os.Exit(1)
+		}
+		ids = []string{repro.ExpUndoLaws}
+	} else if *fig != "all" {
 		ids = []string{*fig}
 	}
 	for _, id := range ids {

@@ -136,6 +136,35 @@ const (
 	PolicyDualParity = sim.DualParity
 )
 
+// SimKernel selects the Monte-Carlo walker specialization via
+// SimOptions.Kernel; see the README's "Kernel dispatch" section.
+type SimKernel = sim.Kernel
+
+const (
+	// SimKernelAuto specializes fully exponential configurations to
+	// the rate-based memoryless walkers (the default).
+	SimKernelAuto = sim.KernelAuto
+	// SimKernelGeneric forces the per-disk failure-clock walkers.
+	SimKernelGeneric = sim.KernelGeneric
+	// SimKernelMemoryless forces the rate-based walkers; runs reject
+	// non-exponential laws.
+	SimKernelMemoryless = sim.KernelMemoryless
+)
+
+// ResolveSimKernel reports the concrete kernel a simulation of p
+// under k would execute (SimKernelMemoryless or SimKernelGeneric);
+// it errors when k forces the memoryless kernel on a configuration
+// with non-exponential laws.
+func ResolveSimKernel(p SimParams, k SimKernel) (SimKernel, error) {
+	return sim.ResolveKernel(p, k)
+}
+
+// ParseSimKernel maps "auto", "generic" or "memoryless" onto a
+// SimKernel.
+func ParseSimKernel(s string) (SimKernel, error) {
+	return sim.ParseKernel(s)
+}
+
 // PaperSimParams returns the simulator defaults matching PaperParams.
 func PaperSimParams(n int, lambda, hep float64) SimParams {
 	return sim.PaperDefaults(n, lambda, hep)

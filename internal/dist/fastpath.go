@@ -38,3 +38,41 @@ func FastExp(d Distribution) (rate float64, ok bool) {
 	}
 	return 0, false
 }
+
+// Memoryless reports whether d is distributionally memoryless — an
+// exponential law in any of its parameterizations — and returns its
+// hazard rate. Beyond the Exponential family itself it recognizes the
+// degenerate family members that collapse to it: Weibull with shape 1
+// (rate 1/Scale) and Gamma/Erlang with shape 1 (rate Rate).
+//
+// It is the capability query behind kernel specialization: a
+// configuration whose laws all answer true admits the constant-hazard
+// (CTMC-equivalent) treatment — competing risks collapse to one
+// rate-based draw per event with no per-entity clocks — which
+// internal/sim compiles onto its memoryless walkers. FastExp remains
+// the narrower type-only query for callers that must preserve the
+// exact Exponential draw sequence.
+func Memoryless(d Distribution) (rate float64, ok bool) {
+	if rate, ok = FastExp(d); ok {
+		return rate, true
+	}
+	switch e := d.(type) {
+	case Weibull:
+		if e.Shape == 1 {
+			return 1 / e.Scale, true
+		}
+	case *Weibull:
+		if e.Shape == 1 {
+			return 1 / e.Scale, true
+		}
+	case Gamma:
+		if e.Shape == 1 {
+			return e.Rate, true
+		}
+	case *Gamma:
+		if e.Shape == 1 {
+			return e.Rate, true
+		}
+	}
+	return 0, false
+}

@@ -160,6 +160,55 @@ func TestFastExp(t *testing.T) {
 	}
 }
 
+func TestMemoryless(t *testing.T) {
+	// Every exponential parameterization answers with its hazard rate.
+	yes := []struct {
+		name string
+		d    Distribution
+		rate float64
+	}{
+		{"exponential", NewExponential(2.5), 2.5},
+		{"weibull shape 1", NewWeibull(1, 10), 0.1},
+		{"gamma shape 1", NewGamma(1, 0.25), 0.25},
+		{"erlang 1 stage", NewErlang(1, 3), 3},
+	}
+	for _, c := range yes {
+		rate, ok := Memoryless(c.d)
+		if !ok || math.Abs(rate-c.rate) > 1e-15 {
+			t.Errorf("Memoryless(%s) = %v, %v; want %v, true", c.name, rate, ok, c.rate)
+		}
+	}
+	e := NewExponential(0.1)
+	w := NewWeibull(1, 4)
+	g := NewGamma(1, 7)
+	for _, d := range []Distribution{&e, &w, &g} {
+		if _, ok := Memoryless(d); !ok {
+			t.Errorf("Memoryless(%T) pointer form not recognized", d)
+		}
+	}
+	// Aging or multi-mode laws are not memoryless — even a
+	// single-branch hyper-exponential, which is distributionally
+	// exponential but not structurally recognized.
+	no := []Distribution{
+		NewWeibull(1.48, 200), NewWeibull(0.7, 50),
+		NewGamma(2.6, 4), NewErlang(4, 0.1),
+		NewDeterministic(1), NewUniform(0, 1), NewLognormal(0, 1),
+		NewHyperExponential([]float64{1}, []float64{2}),
+	}
+	for _, d := range no {
+		if rate, ok := Memoryless(d); ok {
+			t.Errorf("Memoryless(%s) unexpectedly ok with rate %v", d, rate)
+		}
+	}
+	// Memoryless subsumes FastExp: whatever FastExp accepts must come
+	// back with the identical rate.
+	if r1, _ := FastExp(NewExponential(9)); true {
+		if r2, ok := Memoryless(NewExponential(9)); !ok || r1 != r2 {
+			t.Errorf("Memoryless disagrees with FastExp: %v vs %v", r2, r1)
+		}
+	}
+}
+
 // TestSampleNEmptyAndSingle guards the batch path's slice handling.
 func TestSampleNEmptyAndSingle(t *testing.T) {
 	r := xrand.NewStream(1, 0)

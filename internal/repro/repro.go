@@ -68,11 +68,15 @@ const (
 	ExpUnderestimation = "underestimation"
 	ExpAblation        = "ablation"
 	ExpSensitivity     = "sensitivity"
+	// ExpUndoLaws is a beyond-the-paper experiment: multi-mode
+	// (hyper-exponential) and lognormal human-error undo latencies
+	// against the paper's exponential assumption. See UndoLaws.
+	ExpUndoLaws = "undo-laws"
 )
 
 // All lists every experiment id in presentation order.
 func All() []string {
-	return []string{ExpFig4, ExpFig5, ExpFig6, ExpFig7, ExpUnderestimation, ExpAblation, ExpSensitivity}
+	return []string{ExpFig4, ExpFig5, ExpFig6, ExpFig7, ExpUnderestimation, ExpAblation, ExpSensitivity, ExpUndoLaws}
 }
 
 // Run executes one experiment by id and returns its tables.
@@ -97,6 +101,9 @@ func Run(id string, o Options) ([]*report.Table, error) {
 		return wrap(t, err)
 	case ExpSensitivity:
 		t, err := Sensitivity(o)
+		return wrap(t, err)
+	case ExpUndoLaws:
+		t, err := UndoLaws(o)
 		return wrap(t, err)
 	default:
 		return nil, fmt.Errorf("repro: unknown experiment %q (have %v)", id, All())

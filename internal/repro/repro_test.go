@@ -153,7 +153,7 @@ func TestRunAllWritesEverything(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"Fig. 4", "Fig. 5", "Fig. 6a", "Fig. 6b", "Fig. 6c", "Fig. 7", "Headline", "Ablation", "Sensitivity"} {
+	for _, want := range []string{"Fig. 4", "Fig. 5", "Fig. 6a", "Fig. 6b", "Fig. 6c", "Fig. 7", "Headline", "Ablation", "Sensitivity", "undo latency"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("RunAll output missing %q", want)
 		}
@@ -191,5 +191,36 @@ func TestOptionsDefaults(t *testing.T) {
 	if custom.MCIterations != 7 || custom.MissionTime != 5 || custom.Seed != 3 ||
 		custom.Confidence != 0.5 || custom.Workers != 2 {
 		t.Fatalf("overrides lost: %+v", custom)
+	}
+}
+
+func TestUndoLawsShape(t *testing.T) {
+	tb, err := UndoLaws(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("row count = %d, want one per undo law", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "exponential (paper)" {
+		t.Fatalf("first row %q is not the exponential baseline", tb.Rows[0][0])
+	}
+	// Every law is mean-matched: the mean column must read 1.000.
+	for _, row := range tb.Rows {
+		if row[1] != "1.000" {
+			t.Fatalf("law %q has mean %s, want 1.000 (mean-matched)", row[0], row[1])
+		}
+	}
+	// The baseline's deltas are zero by construction.
+	if tb.Rows[0][4] != "+0.000" || tb.Rows[0][6] != "+0.000" {
+		t.Fatalf("baseline deltas = %s / %s", tb.Rows[0][4], tb.Rows[0][6])
+	}
+	// Shape variety: the cv^2 column must span below and above the
+	// exponential's 1.
+	if tb.Rows[1][2] != "0.50" {
+		t.Fatalf("erlang-2 cv^2 = %s", tb.Rows[1][2])
+	}
+	if !strings.Contains(tb.String(), "10.50") {
+		t.Fatal("missing the heaviest-tailed hyperexp row")
 	}
 }

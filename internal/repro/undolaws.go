@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+
+	"herald/internal/dist"
+	"herald/internal/report"
+	"herald/internal/sim"
+)
+
+// UndoLaws runs the ROADMAP experiment on the shape of the
+// human-error undo latency: the paper models the time to notice and
+// undo a wrong replacement as Exponential(muHE), but the HRA
+// literature it cites prefers multi-mode laws — an error is either
+// caught within minutes or discovered hours later — and lognormal
+// task-completion times. Every candidate law is mean-matched to the
+// paper's 1/muHE so only the distribution shape varies.
+//
+// Each law is evaluated under both interpretations of the DU interval:
+// the calibrated one (every undo followed by a consistency resync from
+// backup, ResyncAfterUndo) and the literal Fig. 2 one (the undo alone
+// ends the outage), because the resync variant's DU downtime is
+// dominated by the tape restore and thus nearly shape-blind — the
+// literal variant is where the exponential assumption actually gets
+// tested.
+//
+// The failure rate is inflated to 1e-4/h (vs the paper's 1e-6) so
+// laptop-scale iteration counts produce dense undo statistics; the
+// comparison is about shape sensitivity, not the absolute level.
+func UndoLaws(o Options) (*report.Table, error) {
+	d := o.withDefaults()
+	const (
+		lambda = 1e-4
+		hep    = 0.01
+		muHE   = 1.0 // the paper's undo rate; every law matches mean 1/muHE
+	)
+
+	// lateRate solves w1/r1 + w2/r2 = 1/muHE for r2: the slow branch
+	// rate that keeps a two-mode undo law mean-matched.
+	lateRate := func(w1, r1, w2 float64) float64 {
+		return w2 / (1/muHE - w1/r1)
+	}
+	// logMu yields the log-space location hitting mean 1/muHE at the
+	// given log-space spread: mu = ln(1/muHE) - sigma^2/2.
+	logMu := func(sigma float64) float64 {
+		return math.Log(1/muHE) - sigma*sigma/2
+	}
+
+	laws := []struct {
+		name string
+		d    dist.Distribution
+	}{
+		{"exponential (paper)", dist.NewExponential(muHE)},
+		{"erlang-2 (two-step undo)", dist.NewErlang(2, 2*muHE)},
+		{"lognormal sigma=1", dist.NewLognormal(logMu(1), 1)},
+		{"lognormal sigma=1.5", dist.NewLognormal(logMu(1.5), 1.5)},
+		{"hyperexp 80% quick / 20% late", dist.NewHyperExponential(
+			[]float64{0.8, 0.2}, []float64{4 * muHE, lateRate(0.8, 4*muHE, 0.2)})},
+		{"hyperexp 95% quick / 5% very late", dist.NewHyperExponential(
+			[]float64{0.95, 0.05}, []float64{2 * muHE, lateRate(0.95, 2*muHE, 0.05)})},
+	}
+
+	run := func(law dist.Distribution, resync bool) (sim.Summary, error) {
+		p := sim.PaperDefaults(4, lambda, hep)
+		p.HERecovery = law
+		p.ResyncAfterUndo = resync
+		return sim.Run(p, sim.Options{
+			Iterations:  d.MCIterations,
+			MissionTime: d.MissionTime,
+			Seed:        d.Seed,
+			Workers:     d.Workers,
+			Confidence:  d.Confidence,
+		})
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Human-error undo latency laws, mean-matched at %g h (conventional policy, lambda %g, hep %g)",
+			1/muHE, lambda, hep),
+		"undo law", "mean h", "cv^2",
+		"nines (resync)", "delta", "nines (literal)", "delta", "DU h/iter (literal)")
+
+	var expResync, expLiteral float64
+	for i, law := range laws {
+		sr, err := run(law.d, true)
+		if err != nil {
+			return nil, fmt.Errorf("repro: undo-laws %s (resync): %w", law.name, err)
+		}
+		sl, err := run(law.d, false)
+		if err != nil {
+			return nil, fmt.Errorf("repro: undo-laws %s (literal): %w", law.name, err)
+		}
+		if i == 0 {
+			expResync, expLiteral = sr.Nines, sl.Nines
+		}
+		mean := law.d.Mean()
+		cv2 := law.d.Var() / (mean * mean)
+		t.AddRow(
+			law.name,
+			fmt.Sprintf("%.3f", mean),
+			fmt.Sprintf("%.2f", cv2),
+			report.F3(sr.Nines),
+			fmt.Sprintf("%+.3f", sr.Nines-expResync),
+			report.F3(sl.Nines),
+			fmt.Sprintf("%+.3f", sl.Nines-expLiteral),
+			fmt.Sprintf("%.3f", sl.MeanDowntimeDU),
+		)
+	}
+	t.AddNote("%d iterations x %.3g h mission, seed %d; identical mean undo latency per row — only the law's shape varies. "+
+		"'resync' follows each undo with the calibrated tape restore (its DU downtime is restore-dominated and nearly "+
+		"shape-blind); 'literal' is the bare Fig. 2 walk-through where the undo law alone sets the outage. The "+
+		"exponential rows run the memoryless kernel, the rest the generic clock kernel (sim.KernelAuto dispatch).",
+		d.MCIterations, d.MissionTime, d.Seed)
+	return t, nil
+}

@@ -22,9 +22,10 @@ func (sc *scratch) conventional(mission float64) iterStats {
 	var st iterStats
 	t := 0.0
 
-	// The repair and TTF draws run once per failure event; their
-	// exponential fast path is expanded inline here because the
-	// sampler method cannot be inlined (two calls exceed the budget).
+	// The repair and TTF draws run once per failure event; hoisting
+	// the inverse rates lets the expInv fast path inline here, with
+	// the interface dispatch outlined to the rare non-memoryless case
+	// (see expInv's inlining note).
 	repairInv := sc.repair.invRate
 	ttfInv := sc.ttf.invRate
 
@@ -53,10 +54,8 @@ func (sc *scratch) conventional(mission float64) iterStats {
 		t = tFail
 
 		// Exposed: replacement service races a second member failure.
-		var svc float64
-		if repairInv > 0 {
-			svc = r.ExpFloat64() * repairInv
-		} else {
+		svc := expInv(r, repairInv)
+		if repairInv == 0 {
 			svc = sc.repair.sampleSlow(r)
 		}
 		repairEnd := t + svc
@@ -76,11 +75,11 @@ func (sc *scratch) conventional(mission float64) iterStats {
 		t = repairEnd
 		if !sc.hepTrial(r) {
 			// Correct replacement: the failed member is fresh.
-			if ttfInv > 0 {
-				fail[fi] = t + r.ExpFloat64()*ttfInv
-			} else {
-				fail[fi] = t + sc.ttf.sampleSlow(r)
+			life := expInv(r, ttfInv)
+			if ttfInv == 0 {
+				life = sc.ttf.sampleSlow(r)
 			}
+			fail[fi] = t + life
 			continue
 		}
 
@@ -94,7 +93,7 @@ func (sc *scratch) conventional(mission float64) iterStats {
 		resolved := false
 		for !resolved {
 			attemptEnd := cur + sc.herec.sample(r)
-			crashAt := cur + expSample(r, p.CrashRate)
+			crashAt := cur + expInv(r, sc.crashInv)
 			oi, tOther := nextFailure(fail, cur, fi, pi)
 			next := math.Min(attemptEnd, math.Min(crashAt, tOther))
 			if next >= mission {
@@ -157,5 +156,6 @@ func (sc *scratch) dataLoss(st *iterStats, start, mission float64, d1, d2 int) f
 	if d2 != noDisk {
 		sc.fail[d2] = restoreEnd + sc.ttf.sample(r)
 	}
+	sc.clocksChanged()
 	return restoreEnd
 }

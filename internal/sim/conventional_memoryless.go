@@ -1,0 +1,177 @@
+package sim
+
+import "math"
+
+// This file is the memoryless specialization of the conventional
+// walker. When every law is exponential the array process is a CTMC —
+// the equivalence the paper itself leans on to validate the simulator
+// (§V-A) — so the walker needs no per-disk failure clocks: in each
+// state the holding time is one Exp(total-rate) draw (min of k iid
+// Exp(lambda) is Exp(k*lambda)) and the winning transition is chosen
+// with probability proportional to its rate. Disk identities are
+// irrelevant: exponential members are exchangeable and, by
+// memorylessness, a survivor's residual lifetime never depends on its
+// age, so the state collapses to how many members are failed or
+// pulled. The generic clock walker (conventional.go) remains the
+// reference this kernel is validated against, both statistically and
+// against the internal/markov closed forms.
+//
+// One second-order refinement of the clock walkers is deliberately
+// not carried over: their surviving members keep aging through
+// tape-restore and resync outages (an expired clock fires the moment
+// the restore ends), whereas the rate-based kernels — like the
+// paper's chains, whose DL state has the single transition
+// DL --muDDF--> OP — restart the failure race fresh after an outage.
+// The difference is of order lambda x restore-time per data loss
+// (~1e-4 relative at the equivalence tests' inflated rates, far less
+// at paper rates) and sits well inside the CI-overlap tolerances
+// TestMemorylessMatchesGenericCIOverlap pins.
+
+// convMemK holds the conventional kernel's precomputed state
+// constants: the inverse total exit rate of each state (expInv
+// multiplies instead of divides) and the unnormalized cut points that
+// split a uniform draw over [0, total) among the competing risks.
+type convMemK struct {
+	invOP    float64 // 1/(n*lambda): all members up
+	invEXP   float64 // 1/(muDF + (n-1)*lambda): repair vs second failure
+	pFailEXP float64 // probability the second failure wins that race
+	totDU    float64 // muHE + crash + (n-2)*lambda: the DU race
+	invDU    float64
+	cutDU1   float64 // undo-attempt share
+	cutDU2   float64 // + crash share
+	invTape  float64
+}
+
+func makeConvMemK(p *ArrayParams, m memRates) convMemK {
+	n := float64(p.Disks)
+	totEXP := m.muDF + (n-1)*m.lambda
+	totDU := m.muHE + p.CrashRate + (n-2)*m.lambda
+	return convMemK{
+		invOP:    inv(n * m.lambda),
+		invEXP:   inv(totEXP),
+		pFailEXP: (n - 1) * m.lambda / totEXP,
+		totDU:    totDU,
+		invDU:    inv(totDU),
+		cutDU1:   m.muHE,
+		cutDU2:   m.muHE + p.CrashRate,
+		invTape:  inv(m.muDDF),
+	}
+}
+
+// conventionalMemoryless walks one lifetime of the conventional
+// policy's CTMC. The state structure mirrors conventional.go — the
+// same events are counted at the same transitions, with the same
+// downtime accounting and mission-end censoring — up to the
+// aging-through-outages refinement noted above; only the sampling is
+// rate-based.
+func (sc *scratch) conventionalMemoryless(mission float64) iterStats {
+	k, r, p := &sc.convK, &sc.src, sc.p
+	var st iterStats
+	t := 0.0
+	// Both rare outcomes of the hot OK->EXPOSED->repaired cycle are
+	// skip-sampled: raceGap counts the repair-wins remaining before a
+	// second failure beats the service (geometric, drawGeomGap), and
+	// hepGap the error-free services before the next human error. The
+	// counters live in registers and are drawn lazily, so a benign
+	// cycle costs two exponential draws and two decrements; both die
+	// with the iteration, keeping iterations independent.
+	raceGap, hepGap := -1, -1
+
+	for t < mission {
+		// All members up; hold for the first failure.
+		t += r.ExpFloat64() * k.invOP
+		if t >= mission {
+			break
+		}
+		st.events.Failures++
+
+		// Exposed: replacement service races a second member failure.
+		dt := r.ExpFloat64() * k.invEXP
+		if t+dt >= mission {
+			break // exposed is up; mission ends first
+		}
+		t += dt
+		if raceGap < 0 {
+			raceGap = drawGeomGap(r, k.pFailEXP)
+		}
+		if raceGap == 0 {
+			// Double disk failure: data loss, restore from backup.
+			raceGap = -1
+			st.events.Failures++
+			st.events.DoubleFailures++
+			t = sc.memDataLoss(&st, t, mission, k.invTape)
+			continue
+		}
+		raceGap--
+		if hepGap < 0 {
+			hepGap = sc.drawHEPGap(r)
+		}
+		if hepGap != 0 {
+			hepGap-- // correct replacement; the array is whole again
+			continue
+		}
+		hepGap = -1
+
+		// Wrong disk replacement: unavailable until the error is
+		// undone; meanwhile the pulled disk may crash and the n-2
+		// untouched members may fail.
+		st.events.HumanErrors++
+		duStart := t
+		for {
+			dt := r.ExpFloat64() * k.invDU
+			if t+dt >= mission {
+				st.downDU += mission - duStart
+				t = mission
+				break
+			}
+			t += dt
+			u := r.Float64() * k.totDU
+			if u < k.cutDU1 {
+				st.events.UndoAttempts++
+				if hepGap < 0 {
+					hepGap = sc.drawHEPGap(r)
+				}
+				if hepGap == 0 {
+					// The undo itself went wrong; array stays DU.
+					hepGap = -1
+					st.events.HumanErrors++
+					continue
+				}
+				hepGap--
+				// Error undone; optionally restore consistency from
+				// backup before coming back up.
+				end := t
+				if p.ResyncAfterUndo {
+					end += r.ExpFloat64() * k.invTape
+				}
+				st.downDU += math.Min(end, mission) - duStart
+				t = end
+				break
+			}
+			st.downDU += t - duStart
+			if u < k.cutDU2 {
+				// The wrongly removed disk crashed while out.
+				st.events.Crashes++
+			} else {
+				// A further member failed while unavailable.
+				st.events.Failures++
+				st.events.DoubleFailures++
+			}
+			t = sc.memDataLoss(&st, t, mission, k.invTape)
+			break
+		}
+	}
+	return st
+}
+
+// memDataLoss accounts a data-loss interval starting at start under
+// the memoryless kernels: one tape-restore holding time, downtime
+// clipped at mission end. No member state survives the outage — the
+// failure race restarts fresh at the restore end, the CTMC's
+// DL --muDDF--> OP semantics (see the file comment for how this
+// differs, in the second order, from the clock walkers' dataLoss).
+func (sc *scratch) memDataLoss(st *iterStats, start, mission, invTape float64) float64 {
+	end := start + sc.src.ExpFloat64()*invTape
+	st.downDL += math.Min(end, mission) - start
+	return end
+}

@@ -94,7 +94,7 @@ func (sc *scratch) dualParity(mission float64) iterStats {
 			cur := t
 			for {
 				attemptEnd := cur + sc.herec.sample(r)
-				crashAt := cur + expSample(r, p.CrashRate)
+				crashAt := cur + expInv(r, sc.crashInv)
 				xi, tOther := nextFailure3(fail, cur, down1, down2, pulled)
 				next := math.Min(attemptEnd, math.Min(crashAt, tOther))
 				if next >= mission {

@@ -1,0 +1,161 @@
+package sim
+
+import "math"
+
+// dpMemK holds the dual-parity memoryless kernel's state constants.
+// The walker state collapses to the number of missing members (failed
+// or wrongly pulled): 0, 1 or 2 while up, plus the DU state where a
+// third member is inaccessible. Semantics mirror dualparity.go.
+type dpMemK struct {
+	invOP float64 // n*lambda: fully redundant
+
+	totE1 float64 // muDF + (n-1)*lambda: exposed-1 service vs failure
+	invE1 float64
+	cutE1 float64 // failure share
+
+	totE2 float64 // muDF + (n-2)*lambda: exposed-2 service vs failure
+	invE2 float64
+	cutE2 float64 // failure share
+
+	totDU float64 // muHE + crash + (n-3)*lambda: the DU race
+	invDU float64
+	cutU  float64 // undo share
+	cutC  float64 // + crash share
+
+	invTape float64
+}
+
+func makeDpMemK(p *ArrayParams, m memRates) dpMemK {
+	n := float64(p.Disks)
+	var k dpMemK
+	k.invOP = inv(n * m.lambda)
+
+	k.totE1 = m.muDF + (n-1)*m.lambda
+	k.invE1 = inv(k.totE1)
+	k.cutE1 = (n - 1) * m.lambda
+
+	k.totE2 = m.muDF + (n-2)*m.lambda
+	k.invE2 = inv(k.totE2)
+	k.cutE2 = (n - 2) * m.lambda
+
+	k.totDU = m.muHE + p.CrashRate + (n-3)*m.lambda
+	k.invDU = inv(k.totDU)
+	k.cutU = m.muHE
+	k.cutC = m.muHE + p.CrashRate
+
+	k.invTape = inv(m.muDDF)
+	return k
+}
+
+// dualParityMemoryless walks one lifetime of the dual-parity policy's
+// CTMC: conventional replacement on an array that tolerates two
+// concurrent member losses. Transition-for-transition it mirrors
+// dualParity (same event counts, downtime accounting and censoring,
+// up to the aging-through-outages refinement documented in
+// conventional_memoryless.go); missing counts the members currently
+// failed or wrongly pulled.
+func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
+	k, r, p := &sc.dpK, &sc.src, sc.p
+	var st iterStats
+	t := 0.0
+	missing := 0
+
+	for t < mission {
+		switch missing {
+		case 0:
+			// Fully redundant: wait for the first failure.
+			t += r.ExpFloat64() * k.invOP
+			if t >= mission {
+				return st
+			}
+			st.events.Failures++
+			missing = 1
+
+		case 1:
+			// Exposed-1: repair service races a second failure.
+			dt := r.ExpFloat64() * k.invE1
+			if t+dt >= mission {
+				return st
+			}
+			t += dt
+			if r.Float64()*k.totE1 < k.cutE1 {
+				st.events.Failures++
+				missing = 2
+				continue
+			}
+			if !sc.hepTrial(r) {
+				missing = 0
+				continue
+			}
+			// Wrong pull: a healthy member joins the missing set, but
+			// dual parity keeps the data up (exposed-2).
+			st.events.HumanErrors++
+			missing = 2
+
+		default:
+			// Exposed-2 (up, critical): repair races a third loss.
+			dt := r.ExpFloat64() * k.invE2
+			if t+dt >= mission {
+				return st
+			}
+			t += dt
+			if r.Float64()*k.totE2 < k.cutE2 {
+				// Third concurrent loss: data gone.
+				st.events.Failures++
+				st.events.DoubleFailures++
+				t = sc.memDataLoss(&st, t, mission, k.invTape)
+				missing = 0
+				continue
+			}
+			if !sc.hepTrial(r) {
+				missing = 1 // one member repaired
+				continue
+			}
+			// Wrong pull with two members already missing: the third
+			// inaccessible member makes the data unavailable.
+			st.events.HumanErrors++
+			duStart := t
+			for {
+				dt := r.ExpFloat64() * k.invDU
+				if t+dt >= mission {
+					st.downDU += mission - duStart
+					return st
+				}
+				t += dt
+				u := r.Float64() * k.totDU
+				if u < k.cutU {
+					st.events.UndoAttempts++
+					if sc.hepTrial(r) {
+						st.events.HumanErrors++
+						continue
+					}
+					// Undo succeeded; per the analytic chain the array
+					// returns to exposed-2, unless the resync policy
+					// restores everything.
+					if p.ResyncAfterUndo {
+						end := t + r.ExpFloat64()*k.invTape
+						st.downDU += math.Min(end, mission) - duStart
+						t = end
+						missing = 0
+					} else {
+						st.downDU += t - duStart
+						// missing stays 2: back to exposed-2.
+					}
+					break
+				}
+				st.downDU += t - duStart
+				if u < k.cutC {
+					st.events.Crashes++
+				} else {
+					// Fourth loss while unavailable: catastrophic.
+					st.events.Failures++
+					st.events.DoubleFailures++
+				}
+				t = sc.memDataLoss(&st, t, mission, k.invTape)
+				missing = 0
+				break
+			}
+		}
+	}
+	return st
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 
 	"herald/internal/dist"
@@ -8,14 +9,14 @@ import (
 )
 
 // sampler caches the devirtualized fast path for one distribution,
-// resolved once per worker instead of per draw: exponential laws
-// (rate > 0) are drawn inline via r.ExpFloat64()/rate with no
-// interface dispatch, and laws implementing dist.BatchSampler fill
-// slices through their batch algorithm.
+// resolved once per worker instead of per draw: memoryless laws
+// (rate > 0, see dist.Memoryless) are drawn inline via
+// expInv(r, invRate) with no interface dispatch, and laws implementing
+// dist.BatchSampler fill slices through their batch algorithm.
 type sampler struct {
 	d     dist.Distribution
 	batch dist.BatchSampler
-	// rate > 0 marks an exponential law; invRate caches 1/rate so the
+	// rate > 0 marks a memoryless law; invRate caches 1/rate so the
 	// hot path multiplies instead of divides (the values differ from
 	// Exponential.Sample in the last ulp, which the stream-level
 	// determinism contract permits).
@@ -28,7 +29,7 @@ func newSampler(d dist.Distribution) sampler {
 	if d == nil {
 		return sp
 	}
-	if rate, ok := dist.FastExp(d); ok {
+	if rate, ok := dist.Memoryless(d); ok {
 		sp.rate = rate
 		sp.invRate = 1 / rate
 	}
@@ -42,7 +43,7 @@ func newSampler(d dist.Distribution) sampler {
 // allows it, one interface dispatch otherwise.
 func (sp *sampler) sample(r *xrand.Source) float64 {
 	if sp.rate > 0 {
-		return r.ExpFloat64() * sp.invRate
+		return expInv(r, sp.invRate)
 	}
 	return sp.sampleSlow(r)
 }
@@ -53,7 +54,7 @@ func (sp *sampler) sampleSlow(r *xrand.Source) float64 { return sp.d.Sample(r) }
 func (sp *sampler) sampleN(r *xrand.Source, dst []float64) {
 	if sp.rate > 0 {
 		for i := range dst {
-			dst[i] = r.ExpFloat64() * sp.invRate
+			dst[i] = expInv(r, sp.invRate)
 		}
 		return
 	}
@@ -66,10 +67,73 @@ func (sp *sampler) sampleN(r *xrand.Source, dst []float64) {
 	}
 }
 
+// memRates are the hazard rates of a fully memoryless configuration —
+// the input of the rate-based kernels. muHE is 0 when HEP is 0 (the
+// undo law is never drawn); muS and muCH are 0 outside AutoFailover.
+type memRates struct {
+	lambda float64 // per-disk failure
+	muDF   float64 // replacement / rebuild service
+	muDDF  float64 // tape restore
+	muHE   float64 // human-error undo attempt
+	muS    float64 // on-line rebuild to hot spare
+	muCH   float64 // spare swap
+}
+
+// memorylessRates resolves the configuration's rates when every law
+// the policy draws from answers dist.Memoryless.
+func memorylessRates(p *ArrayParams) (memRates, bool) {
+	var m memRates
+	var ok bool
+	if m.lambda, ok = dist.Memoryless(p.TTF); !ok {
+		return m, false
+	}
+	if m.muDF, ok = dist.Memoryless(p.Repair); !ok {
+		return m, false
+	}
+	if m.muDDF, ok = dist.Memoryless(p.TapeRestore); !ok {
+		return m, false
+	}
+	if p.HEP > 0 {
+		if m.muHE, ok = dist.Memoryless(p.HERecovery); !ok {
+			return m, false
+		}
+	}
+	if p.Policy == AutoFailover {
+		if m.muS, ok = dist.Memoryless(p.SpareRebuild); !ok {
+			return m, false
+		}
+		if m.muCH, ok = dist.Memoryless(p.SpareSwap); !ok {
+			return m, false
+		}
+	}
+	return m, true
+}
+
+// resolveKernel maps the requested kernel onto a walker choice for p.
+// It is the options-resolution step of the dispatch layer: RunRange
+// calls it before spawning workers so a forced-but-impossible
+// specialization fails the run instead of silently degrading.
+func resolveKernel(p *ArrayParams, k Kernel) (memRates, bool, error) {
+	switch k {
+	case KernelGeneric:
+		return memRates{}, false, nil
+	case KernelAuto, KernelMemoryless:
+		m, ok := memorylessRates(p)
+		if !ok && k == KernelMemoryless {
+			return memRates{}, false, fmt.Errorf(
+				"sim: kernel %v requires exponential laws throughout (TTF %v, repair %v, restore %v)",
+				k, p.TTF, p.Repair, p.TapeRestore)
+		}
+		return m, ok, nil
+	default:
+		return memRates{}, false, fmt.Errorf("sim: unknown kernel %d", int(k))
+	}
+}
+
 // scratch is one worker's reusable simulation state: the failure-clock
-// slice, an in-place reseedable stream, and the resolved samplers.
-// Allocated once per worker, it makes the per-iteration hot loop
-// allocation-free (pinned by TestHotLoopZeroAllocs).
+// slice, an in-place reseedable stream, the resolved samplers and the
+// kernel choice. Allocated once per worker, it makes the per-iteration
+// hot loop allocation-free (pinned by TestHotLoopZeroAllocs).
 type scratch struct {
 	p    *ArrayParams
 	src  xrand.Source
@@ -82,19 +146,56 @@ type scratch struct {
 	hepGap int
 
 	ttf, repair, tape, herec, rebuild, swap sampler
+
+	// crashInv / crash2Inv cache the inverse crash-clock rates for
+	// expInv (0 when the disks never crash while pulled).
+	crashInv, crash2Inv float64
+
+	// memoryless is true when this scratch runs the rate-based
+	// kernels; the per-policy constant blocks below are then resolved.
+	memoryless bool
+	convK      convMemK
+	foK        foMemK
+	dpK        dpMemK
+
+	// Cached two-min failure scan, threaded through the fail-over
+	// phase machine: scanOK is invalidated whenever a clock changes
+	// (clocksChanged), so phases that exclude at most one disk reuse
+	// one scan instead of re-scanning per transition.
+	scanOK         bool
+	scanI1, scanI2 int
+	scanT1, scanT2 float64
 }
 
-func newScratch(p *ArrayParams) *scratch {
-	return &scratch{
-		p:       p,
-		fail:    make([]float64, p.Disks),
-		ttf:     newSampler(p.TTF),
-		repair:  newSampler(p.Repair),
-		tape:    newSampler(p.TapeRestore),
-		herec:   newSampler(p.HERecovery),
-		rebuild: newSampler(p.SpareRebuild),
-		swap:    newSampler(p.SpareSwap),
+// newScratch builds a worker's scratch for the given kernel request.
+// Kernel feasibility must have been checked beforehand (resolveKernel
+// in RunRange); an infeasible forced request falls back to the generic
+// walker here.
+func newScratch(p *ArrayParams, k Kernel) *scratch {
+	sc := &scratch{
+		p:         p,
+		fail:      make([]float64, p.Disks),
+		ttf:       newSampler(p.TTF),
+		repair:    newSampler(p.Repair),
+		tape:      newSampler(p.TapeRestore),
+		herec:     newSampler(p.HERecovery),
+		rebuild:   newSampler(p.SpareRebuild),
+		swap:      newSampler(p.SpareSwap),
+		crashInv:  inv(p.CrashRate),
+		crash2Inv: inv(2 * p.CrashRate),
 	}
+	if m, ok, err := resolveKernel(p, k); err == nil && ok {
+		sc.memoryless = true
+		switch p.Policy {
+		case AutoFailover:
+			sc.foK = makeFoMemK(p, m)
+		case DualParity:
+			sc.dpK = makeDpMemK(p, m)
+		default:
+			sc.convK = makeConvMemK(p, m)
+		}
+	}
+	return sc
 }
 
 // iterate walks one array lifetime for iteration index it. Each
@@ -105,6 +206,17 @@ func newScratch(p *ArrayParams) *scratch {
 func (sc *scratch) iterate(seed uint64, it int, mission float64) iterStats {
 	sc.src.SeedStream(seed, uint64(it))
 	sc.hepGap = -1
+	if sc.memoryless {
+		switch sc.p.Policy {
+		case AutoFailover:
+			return sc.failoverMemoryless(mission)
+		case DualParity:
+			return sc.dualParityMemoryless(mission)
+		default:
+			return sc.conventionalMemoryless(mission)
+		}
+	}
+	sc.scanOK = false
 	switch sc.p.Policy {
 	case AutoFailover:
 		return sc.failover(mission)
@@ -113,6 +225,40 @@ func (sc *scratch) iterate(seed uint64, it int, mission float64) iterStats {
 	default:
 		return sc.conventional(mission)
 	}
+}
+
+// clocksChanged invalidates the cached two-min scan; call it after any
+// write to sc.fail.
+func (sc *scratch) clocksChanged() { sc.scanOK = false }
+
+// refreshScan recomputes the cached two smallest failure clocks.
+func (sc *scratch) refreshScan() {
+	if len(sc.fail) == 4 {
+		sc.scanI1, sc.scanT1, sc.scanI2, sc.scanT2 = twoMin4(sc.fail)
+	} else {
+		sc.scanI1, sc.scanT1, sc.scanI2, sc.scanT2 = twoMin(sc.fail)
+	}
+	sc.scanOK = true
+}
+
+// cachedNextFailure returns the earliest failure clock skipping ex
+// (noDisk for none), with nextFailure's expired-clock clamp to now.
+// It answers from the cached two-min scan, recomputing only when a
+// clock changed since the last scan — at most one exclusion can be
+// resolved this way, which covers every up-phase of the fail-over
+// machine.
+func (sc *scratch) cachedNextFailure(now float64, ex int) (int, float64) {
+	if !sc.scanOK {
+		sc.refreshScan()
+	}
+	i, at := sc.scanI1, sc.scanT1
+	if i == ex {
+		i, at = sc.scanI2, sc.scanT2
+	}
+	if i >= 0 && at < now {
+		at = now
+	}
+	return i, at
 }
 
 // hepTrial reports whether the next human-error opportunity turns into
@@ -137,12 +283,23 @@ func (sc *scratch) hepTrial(r *xrand.Source) bool {
 // within a mission), HEP 1 always errs; neither consumes randomness,
 // matching Bernoulli's edge behavior.
 func (sc *scratch) drawHEPGap(r *xrand.Source) int {
-	hep := sc.p.HEP
-	if hep <= 0 {
+	return drawGeomGap(r, sc.p.HEP)
+}
+
+// drawGeomGap draws the geometric number of failures before the next
+// success of an iid Bernoulli(p) sequence: floor(ln U / ln(1-p)).
+// p <= 0 never succeeds (MaxInt outlives any mission), p >= 1 always
+// does; neither consumes randomness. Beyond the human-error trials,
+// the memoryless kernels use it to skip-sample rare race winners: in
+// a CTMC the winner of a state's exit race is an iid Bernoulli draw
+// independent of the holding times, so one logarithm per rare outcome
+// replaces one uniform per visit.
+func drawGeomGap(r *xrand.Source, p float64) int {
+	if p <= 0 {
 		return math.MaxInt
 	}
-	if hep >= 1 {
+	if p >= 1 {
 		return 0
 	}
-	return int(math.Log(r.OpenFloat64()) / math.Log1p(-hep))
+	return int(math.Log(r.OpenFloat64()) / math.Log1p(-p))
 }

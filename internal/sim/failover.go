@@ -24,6 +24,12 @@ const (
 // failure with no human involvement; the technician only touches the
 // array to replenish the spare (OPns) or when no spare is left
 // (EXPns1), which is where human error opportunities live.
+//
+// The up-phases (OP, EXP1, OPns, EXPns1, EXPns2) exclude at most one
+// disk from their next-failure query, so they share one cached
+// two-min scan (cachedNextFailure) that survives phase transitions
+// and is recomputed only after a clock actually changes — the DU
+// phases, which exclude two disks, keep the direct scans.
 func (sc *scratch) failover(mission float64) iterStats {
 	p, r := sc.p, &sc.src
 	n := p.Disks
@@ -39,7 +45,7 @@ func (sc *scratch) failover(mission float64) iterStats {
 	for t < mission {
 		switch phase {
 		case phOP:
-			idx, tFail := nextFailure(fail, t, noDisk, noDisk)
+			idx, tFail := sc.cachedNextFailure(t, noDisk)
 			if tFail >= mission {
 				return st
 			}
@@ -49,7 +55,7 @@ func (sc *scratch) failover(mission float64) iterStats {
 		case phEXP1:
 			// On-line rebuild onto the hot spare; no human involved.
 			rebEnd := t + sc.rebuild.sample(r)
-			si, tSecond := nextFailure(fail, t, fi, noDisk)
+			si, tSecond := sc.cachedNextFailure(t, fi)
 			if math.Min(rebEnd, tSecond) >= mission {
 				return st // exposed but up
 			}
@@ -64,13 +70,14 @@ func (sc *scratch) failover(mission float64) iterStats {
 			}
 			// Spare now carries the failed member's data.
 			fail[fi] = rebEnd + sc.ttf.sample(r)
+			sc.clocksChanged()
 			fi, t, phase = noDisk, rebEnd, phOPns
 
 		case phOPns:
 			// Technician replenishes the spare slot; a wrong pull here
 			// hits a fully redundant array (degraded, still up).
 			swapEnd := t + sc.swap.sample(r)
-			idx, tFail := nextFailure(fail, t, noDisk, noDisk)
+			idx, tFail := sc.cachedNextFailure(t, noDisk)
 			if math.Min(swapEnd, tFail) >= mission {
 				return st
 			}
@@ -92,7 +99,7 @@ func (sc *scratch) failover(mission float64) iterStats {
 			// Exposed with no spare: direct replace-and-rebuild
 			// service, racing a second member failure.
 			svcEnd := t + sc.repair.sample(r)
-			si, tSecond := nextFailure(fail, t, fi, noDisk)
+			si, tSecond := sc.cachedNextFailure(t, fi)
 			if math.Min(svcEnd, tSecond) >= mission {
 				return st
 			}
@@ -106,6 +113,7 @@ func (sc *scratch) failover(mission float64) iterStats {
 			t = svcEnd
 			if !sc.hepTrial(r) {
 				fail[fi] = t + sc.ttf.sample(r)
+				sc.clocksChanged()
 				fi, phase = noDisk, phOPns
 				continue
 			}
@@ -116,8 +124,8 @@ func (sc *scratch) failover(mission float64) iterStats {
 		case phEXPns2:
 			// A healthy member is out; data still available (n-1 of n).
 			attemptEnd := t + sc.herec.sample(r)
-			crashAt := t + expSample(r, p.CrashRate)
-			idx, tFail := nextFailure(fail, t, pi, noDisk)
+			crashAt := t + expInv(r, sc.crashInv)
+			idx, tFail := sc.cachedNextFailure(t, pi)
 			next := math.Min(attemptEnd, math.Min(crashAt, tFail))
 			if next >= mission {
 				return st
@@ -132,6 +140,7 @@ func (sc *scratch) failover(mission float64) iterStats {
 				// failed member with no spare.
 				st.events.Crashes++
 				fail[pi] = crashAt // expired clock; treated as failed
+				sc.clocksChanged()
 				fi, pi, t, phase = pi, noDisk, crashAt, phEXPns1
 			default:
 				st.events.UndoAttempts++
@@ -154,7 +163,7 @@ func (sc *scratch) failover(mission float64) iterStats {
 			cur := t
 			for phase == phDUns1 {
 				attemptEnd := cur + sc.herec.sample(r)
-				crashAt := cur + expSample(r, p.CrashRate)
+				crashAt := cur + expInv(r, sc.crashInv)
 				oi, tOther := nextFailure(fail, cur, fi, pi)
 				next := math.Min(attemptEnd, math.Min(crashAt, tOther))
 				if next >= mission {
@@ -169,6 +178,7 @@ func (sc *scratch) failover(mission float64) iterStats {
 					st.downDU += tOther - duStart
 					t = sc.dataLoss(&st, tOther, mission, fi, oi)
 					fail[pi] = t + sc.ttf.sample(r) // re-seated fresh by the restore service
+					sc.clocksChanged()
 					fi, pi, phase = noDisk, noDisk, phOPns
 				case crashAt:
 					// Pulled disk crashed: double loss, restore.
@@ -195,7 +205,7 @@ func (sc *scratch) failover(mission float64) iterStats {
 			cur := t
 			for phase == phDUns2 {
 				attemptEnd := cur + sc.herec.sample(r)
-				crashAt := cur + expSample(r, 2*p.CrashRate)
+				crashAt := cur + expInv(r, sc.crash2Inv)
 				oi, tOther := nextFailure(fail, cur, pi, pi2)
 				next := math.Min(attemptEnd, math.Min(crashAt, tOther))
 				if next >= mission {
@@ -210,12 +220,14 @@ func (sc *scratch) failover(mission float64) iterStats {
 					st.downDU += tOther - duStart
 					t = sc.dataLoss(&st, tOther, mission, oi, pi)
 					fail[pi2] = t + sc.ttf.sample(r)
+					sc.clocksChanged()
 					fi, pi, pi2, phase = noDisk, noDisk, noDisk, phOPns
 				case crashAt:
 					// One of the two pulled disks crashed.
 					st.events.Crashes++
 					st.downDU += crashAt - duStart
 					fail[pi2] = crashAt
+					sc.clocksChanged()
 					fi, pi2 = pi2, noDisk
 					t, phase = crashAt, phDUns1
 				default:

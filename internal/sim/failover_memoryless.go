@@ -1,0 +1,269 @@
+package sim
+
+// foMemK holds the fail-over memoryless kernel's per-phase constants:
+// for each phase of the Fig. 3 machine, the inverse total exit rate
+// and the unnormalized cut points of its competing risks. Phase
+// semantics mirror failover.go; disk identity is collapsed to counts
+// (one failed member, one or two pulled members) by exchangeability
+// and memorylessness.
+type foMemK struct {
+	invOP float64 // n*lambda: wait for the first failure
+
+	totEXP1 float64 // muS + (n-1)*lambda: rebuild-to-spare vs failure
+	invEXP1 float64
+	cutEXP1 float64 // failure share
+
+	totOPns float64 // muCH + n*lambda: spare swap vs failure
+	invOPns float64
+	cutOPns float64 // failure share
+
+	totEXPns1 float64 // muDF + (n-1)*lambda: direct service vs failure
+	invEXPns1 float64
+	cutEXPns1 float64 // failure share
+
+	totEXPns2  float64 // muHE + crash + (n-1)*lambda: healthy pull, up
+	invEXPns2  float64
+	cutUEXPns2 float64 // undo share
+	cutCEXPns2 float64 // + crash share
+
+	totDU1  float64 // muHE + crash + (n-2)*lambda: failed + pulled
+	invDU1  float64
+	cutUDU1 float64
+	cutCDU1 float64
+
+	totDU2  float64 // muHE + 2*crash + (n-2)*lambda: two pulled
+	invDU2  float64
+	cutUDU2 float64
+	cutCDU2 float64
+
+	invTape float64
+}
+
+func makeFoMemK(p *ArrayParams, m memRates) foMemK {
+	n := float64(p.Disks)
+	crash := p.CrashRate
+	var k foMemK
+	k.invOP = inv(n * m.lambda)
+
+	k.totEXP1 = m.muS + (n-1)*m.lambda
+	k.invEXP1 = inv(k.totEXP1)
+	k.cutEXP1 = (n - 1) * m.lambda
+
+	k.totOPns = m.muCH + n*m.lambda
+	k.invOPns = inv(k.totOPns)
+	k.cutOPns = n * m.lambda
+
+	k.totEXPns1 = m.muDF + (n-1)*m.lambda
+	k.invEXPns1 = inv(k.totEXPns1)
+	k.cutEXPns1 = (n - 1) * m.lambda
+
+	k.totEXPns2 = m.muHE + crash + (n-1)*m.lambda
+	k.invEXPns2 = inv(k.totEXPns2)
+	k.cutUEXPns2 = m.muHE
+	k.cutCEXPns2 = m.muHE + crash
+
+	k.totDU1 = m.muHE + crash + (n-2)*m.lambda
+	k.invDU1 = inv(k.totDU1)
+	k.cutUDU1 = m.muHE
+	k.cutCDU1 = m.muHE + crash
+
+	k.totDU2 = m.muHE + 2*crash + (n-2)*m.lambda
+	k.invDU2 = inv(k.totDU2)
+	k.cutUDU2 = m.muHE
+	k.cutCDU2 = m.muHE + 2*crash
+
+	k.invTape = inv(m.muDDF)
+	return k
+}
+
+// failoverMemoryless walks one lifetime of the automatic fail-over
+// policy's CTMC. Phase-for-phase it mirrors failover.go — the same
+// transitions count the same events and open/close the same downtime
+// intervals, up to the aging-through-outages refinement documented in
+// conventional_memoryless.go — but each phase is one rate-based
+// holding-time draw plus one winner draw, with no clock array, no
+// scans and no re-scans.
+func (sc *scratch) failoverMemoryless(mission float64) iterStats {
+	k, r := &sc.foK, &sc.src
+	var st iterStats
+	t := 0.0
+	phase := phOP
+	duStart := 0.0 // opening time of the active DU interval
+
+	for t < mission {
+		switch phase {
+		case phOP:
+			// n members up, hot spare present.
+			t += r.ExpFloat64() * k.invOP
+			if t >= mission {
+				return st
+			}
+			st.events.Failures++
+			phase = phEXP1
+
+		case phEXP1:
+			// On-line rebuild onto the hot spare; no human involved.
+			dt := r.ExpFloat64() * k.invEXP1
+			if t+dt >= mission {
+				return st // exposed but up
+			}
+			t += dt
+			if r.Float64()*k.totEXP1 < k.cutEXP1 {
+				st.events.Failures++
+				st.events.DoubleFailures++
+				t = sc.memDataLoss(&st, t, mission, k.invTape)
+				// Restore rebuilds the full configuration, spare
+				// included (Fig. 3: DL --muDDF--> OP).
+				phase = phOP
+				continue
+			}
+			phase = phOPns // spare now carries the data
+
+		case phOPns:
+			// Technician replenishes the spare slot; a wrong pull here
+			// hits a fully redundant array (degraded, still up).
+			dt := r.ExpFloat64() * k.invOPns
+			if t+dt >= mission {
+				return st
+			}
+			t += dt
+			if r.Float64()*k.totOPns < k.cutOPns {
+				st.events.Failures++
+				phase = phEXPns1
+				continue
+			}
+			if !sc.hepTrial(r) {
+				phase = phOP // spare slot replenished
+				continue
+			}
+			st.events.HumanErrors++
+			phase = phEXPns2
+
+		case phEXPns1:
+			// Exposed with no spare: direct replace-and-rebuild
+			// service, racing a second member failure.
+			dt := r.ExpFloat64() * k.invEXPns1
+			if t+dt >= mission {
+				return st
+			}
+			t += dt
+			if r.Float64()*k.totEXPns1 < k.cutEXPns1 {
+				st.events.Failures++
+				st.events.DoubleFailures++
+				t = sc.memDataLoss(&st, t, mission, k.invTape)
+				phase = phOPns // DLns --muDDF--> OPns
+				continue
+			}
+			if !sc.hepTrial(r) {
+				phase = phOPns
+				continue
+			}
+			st.events.HumanErrors++
+			duStart = t
+			phase = phDUns1
+
+		case phEXPns2:
+			// A healthy member is out; data still available (n-1 of n).
+			dt := r.ExpFloat64() * k.invEXPns2
+			if t+dt >= mission {
+				return st
+			}
+			t += dt
+			u := r.Float64() * k.totEXPns2
+			switch {
+			case u < k.cutUEXPns2:
+				st.events.UndoAttempts++
+				if sc.hepTrial(r) {
+					// Second error pulls another healthy member.
+					st.events.HumanErrors++
+					duStart = t
+					phase = phDUns2
+					continue
+				}
+				// Re-seat; the new disk becomes the hot spare
+				// (Fig. 3: EXPns2 --(1-hep)muHE--> OP).
+				phase = phOP
+			case u < k.cutCEXPns2:
+				// Pulled disk died while out: it is now simply a
+				// failed member with no spare.
+				st.events.Crashes++
+				phase = phEXPns1
+			default:
+				// Failure on top of the pull: unavailable.
+				st.events.Failures++
+				duStart = t
+				phase = phDUns1
+			}
+
+		case phDUns1:
+			// One failed + one pulled: unavailable until undone.
+			dt := r.ExpFloat64() * k.invDU1
+			if t+dt >= mission {
+				st.downDU += mission - duStart
+				return st
+			}
+			t += dt
+			u := r.Float64() * k.totDU1
+			switch {
+			case u < k.cutUDU1:
+				st.events.UndoAttempts++
+				if sc.hepTrial(r) {
+					st.events.HumanErrors++
+					continue // undo failed; array stays DU
+				}
+				// Pulled disk re-seated; failed member remains.
+				st.downDU += t - duStart
+				phase = phEXPns1
+			case u < k.cutCDU1:
+				// Pulled disk crashed: double loss, restore.
+				st.events.Crashes++
+				st.downDU += t - duStart
+				t = sc.memDataLoss(&st, t, mission, k.invTape)
+				phase = phOPns
+			default:
+				// Third member lost: catastrophic, restore all.
+				st.events.Failures++
+				st.events.DoubleFailures++
+				st.downDU += t - duStart
+				t = sc.memDataLoss(&st, t, mission, k.invTape)
+				phase = phOPns
+			}
+
+		case phDUns2:
+			// Two healthy members pulled (double human error).
+			dt := r.ExpFloat64() * k.invDU2
+			if t+dt >= mission {
+				st.downDU += mission - duStart
+				return st
+			}
+			t += dt
+			u := r.Float64() * k.totDU2
+			switch {
+			case u < k.cutUDU2:
+				st.events.UndoAttempts++
+				if sc.hepTrial(r) {
+					st.events.HumanErrors++
+					continue
+				}
+				// One pull undone; still one member out (up again).
+				st.downDU += t - duStart
+				phase = phEXPns2
+			case u < k.cutCDU2:
+				// One of the two pulled disks crashed; it becomes the
+				// failed member of a still-unavailable DUns1.
+				st.events.Crashes++
+				st.downDU += t - duStart
+				duStart = t
+				phase = phDUns1
+			default:
+				// Failure with two members out: catastrophic.
+				st.events.Failures++
+				st.events.DoubleFailures++
+				st.downDU += t - duStart
+				t = sc.memDataLoss(&st, t, mission, k.invTape)
+				phase = phOPns
+			}
+		}
+	}
+	return st
+}

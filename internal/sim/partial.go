@@ -152,6 +152,11 @@ func RunRange(p ArrayParams, o Options, start, end int) ([]Partial, error) {
 		return nil, fmt.Errorf("sim: range [%d,%d) not aligned to the %d-iteration cells of a %d-iteration run",
 			start, end, cs, o.Iterations)
 	}
+	// Resolve the kernel once, up front: a forced-but-impossible
+	// specialization fails the run here rather than inside a worker.
+	if _, _, err := resolveKernel(&p, o.Kernel); err != nil {
+		return nil, err
+	}
 	opts := o.withDefaults()
 	histMax := histMaxFor(opts)
 	cells := cellsIn(opts.Iterations, start, end)
@@ -166,7 +171,7 @@ func RunRange(p ArrayParams, o Options, start, end int) ([]Partial, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := newScratch(&p)
+			sc := newScratch(&p, opts.Kernel)
 			for {
 				ci := int(next.Add(1)) - 1
 				if ci >= len(cells) {

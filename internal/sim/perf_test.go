@@ -21,21 +21,24 @@ func paramsFor(pol Policy) ArrayParams {
 
 // TestReplayDeterminismAllPolicies pins the fast-path engine's replay
 // contract: two Runs with identical options are bit-identical, for
-// every policy, including event counts and downtime moments.
+// every policy and kernel, including event counts and downtime
+// moments.
 func TestReplayDeterminismAllPolicies(t *testing.T) {
 	for _, pol := range policies {
-		p := paramsFor(pol)
-		o := Options{Iterations: 400, MissionTime: 2e5, Seed: 31, Workers: 3}
-		a, err := Run(p, o)
-		if err != nil {
-			t.Fatalf("%v: %v", pol, err)
-		}
-		b, err := Run(p, o)
-		if err != nil {
-			t.Fatalf("%v: %v", pol, err)
-		}
-		if a != b {
-			t.Errorf("%v: identical runs diverged:\n%+v\n%+v", pol, a, b)
+		for _, kern := range []Kernel{KernelGeneric, KernelMemoryless} {
+			p := paramsFor(pol)
+			o := Options{Iterations: 400, MissionTime: 2e5, Seed: 31, Workers: 3, Kernel: kern}
+			a, err := Run(p, o)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", pol, kern, err)
+			}
+			b, err := Run(p, o)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", pol, kern, err)
+			}
+			if a != b {
+				t.Errorf("%v/%v: identical runs diverged:\n%+v\n%+v", pol, kern, a, b)
+			}
 		}
 	}
 }
@@ -47,6 +50,9 @@ func TestReplayDeterminismAllPolicies(t *testing.T) {
 func TestScheduleIndependence(t *testing.T) {
 	for _, pol := range policies {
 		p := paramsFor(pol)
+		// KernelAuto resolves to the memoryless walkers here; the
+		// schedule contract must hold for them exactly as it did for
+		// the clock walkers.
 		base := Options{Iterations: 500, MissionTime: 2e5, Seed: 77, Workers: 1}
 		ref, err := Run(p, base)
 		if err != nil {
@@ -71,22 +77,29 @@ func TestScheduleIndependence(t *testing.T) {
 }
 
 // TestHotLoopZeroAllocs pins the per-iteration hot loop at zero
-// allocations for every policy: all scratch state is worker-resident
+// allocations for every policy and every kernel (the generic clock
+// walkers — conventional, fail-over, dual-parity — and each
+// memoryless specialization): all scratch state is worker-resident
 // and reused across iterations.
 func TestHotLoopZeroAllocs(t *testing.T) {
 	for _, pol := range policies {
-		p := paramsFor(pol)
-		if err := p.Validate(); err != nil {
-			t.Fatal(err)
-		}
-		sc := newScratch(&p)
-		it := 0
-		allocs := testing.AllocsPerRun(300, func() {
-			_ = sc.iterate(123, it, 1e5)
-			it++
-		})
-		if allocs != 0 {
-			t.Errorf("%v: hot loop allocates %.1f per iteration, want 0", pol, allocs)
+		for _, kern := range []Kernel{KernelGeneric, KernelMemoryless} {
+			p := paramsFor(pol)
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			sc := newScratch(&p, kern)
+			if sc.memoryless != (kern == KernelMemoryless) {
+				t.Fatalf("%v/%v: kernel not resolved as requested", pol, kern)
+			}
+			it := 0
+			allocs := testing.AllocsPerRun(300, func() {
+				_ = sc.iterate(123, it, 1e5)
+				it++
+			})
+			if allocs != 0 {
+				t.Errorf("%v/%v: hot loop allocates %.1f per iteration, want 0", pol, kern, allocs)
+			}
 		}
 	}
 }
@@ -101,7 +114,10 @@ func TestHotLoopZeroAllocsNonExponential(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	sc := newScratch(&p)
+	sc := newScratch(&p, KernelAuto)
+	if sc.memoryless {
+		t.Fatal("non-exponential config specialized to the memoryless kernel")
+	}
 	it := 0
 	allocs := testing.AllocsPerRun(300, func() {
 		_ = sc.iterate(123, it, 1e5)

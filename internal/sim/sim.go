@@ -156,6 +156,78 @@ func PaperDefaults(n int, lambda, hep float64) ArrayParams {
 	}
 }
 
+// Kernel selects the Monte-Carlo walker specialization. The generic
+// kernels simulate per-disk failure clocks and accept arbitrary laws;
+// the memoryless kernels exploit the CTMC equivalence of fully
+// exponential configurations (the same equivalence the paper uses to
+// validate its simulator, §V-A): competing exponential risks collapse
+// to one rate-based draw per event — min of n iid Exp(lambda) is
+// Exp(n*lambda) — so no clock array is kept or scanned.
+type Kernel int
+
+const (
+	// KernelAuto, the default, specializes to the rate-based
+	// memoryless walkers when every law the policy draws from is
+	// exponential (dist.Memoryless) and falls back to the generic
+	// clock walkers otherwise. The kernels' estimates are
+	// statistically interchangeable (pinned by CI-overlap tests; the
+	// walkers differ only in a second-order aging-through-outages
+	// refinement, see conventional_memoryless.go), but the draw
+	// sequences differ: switching kernels changes the realization,
+	// like changing the seed does.
+	KernelAuto Kernel = iota
+	// KernelGeneric forces the per-disk failure-clock walkers — the
+	// reference implementation the specialized kernels are validated
+	// against, and the only one that accepts non-exponential laws.
+	KernelGeneric
+	// KernelMemoryless forces the rate-based walkers. Runs reject
+	// configurations whose laws are not all memoryless.
+	KernelMemoryless
+)
+
+// String names the kernel as ParseKernel accepts it.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelGeneric:
+		return "generic"
+	case KernelMemoryless:
+		return "memoryless"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel maps a CLI token onto a Kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "auto":
+		return KernelAuto, nil
+	case "generic":
+		return KernelGeneric, nil
+	case "memoryless":
+		return KernelMemoryless, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown kernel %q (want auto, generic or memoryless)", s)
+	}
+}
+
+// ResolveKernel reports the concrete kernel a run of p under k
+// executes: KernelMemoryless or KernelGeneric. It errors when k
+// forces the memoryless kernel on a configuration that is not fully
+// memoryless for its policy.
+func ResolveKernel(p ArrayParams, k Kernel) (Kernel, error) {
+	_, useMem, err := resolveKernel(&p, k)
+	if err != nil {
+		return 0, err
+	}
+	if useMem {
+		return KernelMemoryless, nil
+	}
+	return KernelGeneric, nil
+}
+
 // Options controls a Monte-Carlo run.
 type Options struct {
 	// Iterations is the number of independent array lifetimes.
@@ -177,6 +249,8 @@ type Options struct {
 	// HistogramMaxHours is the histogram's upper edge (default: 1% of
 	// the mission time).
 	HistogramMaxHours float64
+	// Kernel selects the walker specialization (default KernelAuto).
+	Kernel Kernel
 }
 
 func (o *Options) withDefaults() Options {
@@ -200,6 +274,9 @@ func (o *Options) Validate() error {
 	}
 	if o.Confidence < 0 || o.Confidence >= 1 {
 		return fmt.Errorf("sim: confidence %v outside [0,1)", o.Confidence)
+	}
+	if o.Kernel != KernelAuto && o.Kernel != KernelGeneric && o.Kernel != KernelMemoryless {
+		return fmt.Errorf("sim: unknown kernel %d", int(o.Kernel))
 	}
 	return nil
 }
@@ -291,13 +368,29 @@ func Run(p ArrayParams, o Options) (Summary, error) {
 // shared helpers
 // ---------------------------------------------------------------------
 
-// expSample draws an exponential variate with the given rate; +Inf for
-// non-positive rates (the event never happens).
-func expSample(r *xrand.Source, rate float64) float64 {
-	if rate <= 0 {
-		return math.Inf(1)
+// expInv draws an exponential variate given the precomputed inverse
+// rate; +Inf when invRate is 0 (rate-0 events never fire, see inv).
+// It is the one consolidated exponential fast path of every walker —
+// the crash-clock draws, the hot-loop service/TTF draws and the
+// memoryless kernels' holding-time draws all go through it. Keeping
+// the function to a single call plus a hoisted constant leaves it
+// within the compiler's inlining budget (go build -gcflags=-m:
+// "can inline expInv"), so the draw compiles to the bare ziggurat
+// call and one multiply at every call site.
+func expInv(r *xrand.Source, invRate float64) float64 {
+	if invRate <= 0 {
+		return plusInf
 	}
-	return r.ExpFloat64() / rate
+	return r.ExpFloat64() * invRate
+}
+
+// inv returns 1/rate for positive rates and 0 otherwise — the
+// representation expInv expects for events that never fire.
+func inv(rate float64) float64 {
+	if rate > 0 {
+		return 1 / rate
+	}
+	return 0
 }
 
 // nextFailure returns the index and clamped time of the earliest
@@ -387,7 +480,7 @@ func pickOther(r *xrand.Source, n, ex1, ex2 int) int {
 	if count == 0 {
 		panic("sim: no disk available to pick")
 	}
-	k := r.Intn(count)
+	k := int(r.Uint32n(uint32(count)))
 	for i := 0; i < n; i++ {
 		if i == ex1 || i == ex2 {
 			continue

@@ -367,13 +367,19 @@ func TestPickOtherPanicsWhenEmpty(t *testing.T) {
 	pickOther(xrand.New(1), 2, 0, 1)
 }
 
-func TestExpSampleInfiniteForZeroRate(t *testing.T) {
+func TestExpInvInfiniteForZeroRate(t *testing.T) {
 	r := xrand.New(1)
-	if !math.IsInf(expSample(r, 0), 1) {
+	if !math.IsInf(expInv(r, inv(0)), 1) {
 		t.Fatal("zero rate should never fire")
 	}
-	if v := expSample(r, 2); v <= 0 || math.IsInf(v, 1) {
+	if v := expInv(r, inv(2)); v <= 0 || math.IsInf(v, 1) {
 		t.Fatalf("sample = %v", v)
+	}
+	if got := inv(4); got != 0.25 {
+		t.Fatalf("inv(4) = %v", got)
+	}
+	if got := inv(-1); got != 0 {
+		t.Fatalf("inv(-1) = %v", got)
 	}
 }
 

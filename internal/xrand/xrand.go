@@ -232,6 +232,28 @@ func (s *Source) Intn(n int) int {
 	}
 }
 
+// Uint32n returns a uniformly distributed uint32 in [0, n). It panics
+// if n == 0. Like Intn it is bias-free (Lemire's multiply-shift
+// rejection), but on 32-bit operands the 128-bit product collapses to
+// one native 64-bit multiply, and the rejection threshold — the only
+// division in the algorithm — is computed lazily on a path taken with
+// probability below n/2^32. It is the uniform-index sampler of the
+// simulation hot loops, where n is a disk count.
+func (s *Source) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("xrand: Uint32n called with n == 0")
+	}
+	prod := uint64(uint32(s.Uint64()>>32)) * uint64(n)
+	if low := uint32(prod); low < n {
+		thresh := -n % n // (2^32 - n) % n, the bias-free cutoff
+		for low < thresh {
+			prod = uint64(uint32(s.Uint64()>>32)) * uint64(n)
+			low = uint32(prod)
+		}
+	}
+	return uint32(prod >> 32)
+}
+
 // mul64 returns the 128-bit product of a and b as (hi, lo).
 func mul64(a, b uint64) (hi, lo uint64) {
 	const mask32 = 1<<32 - 1
