@@ -28,6 +28,13 @@
 //	availsim -iters 1000000 -shards 32 -checkpoint run.ckpt
 //	availsim -shard-serve :9009                   # on a worker box
 //	availsim -iters 1000000 -shards 32 -shard-connect box1:9009,box2:9009
+//
+// Adaptive (precision-targeted) runs stop at a requested CI half-width
+// instead of a preset count (README.md "Adaptive precision"); -iters
+// becomes the cap, and sharded adaptive runs hand shards out in waves:
+//
+//	availsim -target-halfwidth 5e-9 -iters 1000000
+//	availsim -target-halfwidth 5e-9 -iters 1000000 -shards 16 -workers 8
 package main
 
 import (
@@ -164,7 +171,9 @@ func main() {
 		lambdaCrash = flag.Float64("lambda-crash", 0.01, "pulled-disk crash rate (1/h)")
 		noResync    = flag.Bool("no-resync", false, "skip the post-undo resync outage")
 		kernel      = flag.String("kernel", "auto", "Monte-Carlo kernel: auto (rate-based walkers when every law is exponential), generic (per-disk clock walkers) or memoryless (force; rejects non-exponential laws)")
-		iters       = flag.Int("iters", 20000, "Monte-Carlo iterations (paper: 1e6)")
+		targetHW    = flag.Float64("target-halfwidth", 0, "adaptive precision target: stop when the availability CI half-width reaches this value (sequential sampling; -iters becomes the cap, or the minimum when -max-iters is set)")
+		maxIters    = flag.Int("max-iters", 0, "iteration cap for adaptive runs (requires -target-halfwidth; -iters then floors the executed count)")
+		iters       = flag.Int("iters", 20000, "Monte-Carlo iterations (paper: 1e6); with -target-halfwidth, the cap instead")
 		mission     = flag.Float64("mission", 1e6, "mission time per iteration (h)")
 		seed        = flag.Uint64("seed", 42, "PRNG seed")
 		workers     = flag.Int("workers", 0, "parallel workers: goroutines single-process, local worker processes when sharded (0 = GOMAXPROCS)")
@@ -253,12 +262,17 @@ func main() {
 	}
 
 	o := sim.Options{
-		Iterations:  *iters,
-		MissionTime: *mission,
-		Seed:        *seed,
-		Workers:     *workers,
-		Confidence:  *confidence,
-		Kernel:      kern,
+		Iterations:      *iters,
+		MissionTime:     *mission,
+		Seed:            *seed,
+		Workers:         *workers,
+		Confidence:      *confidence,
+		Kernel:          kern,
+		TargetHalfWidth: *targetHW,
+		MaxIters:        *maxIters,
+	}
+	if err := o.Validate(); err != nil {
+		exitOn(err)
 	}
 	var s sim.Summary
 	if *shards > 1 || *shardConnect != "" || *checkpoint != "" {
@@ -282,6 +296,14 @@ func main() {
 	t.AddRow("human errors", fmt.Sprintf("%d", s.Events.HumanErrors))
 	t.AddRow("pulled-disk crashes", fmt.Sprintf("%d", s.Events.Crashes))
 	t.AddRow("undo attempts", fmt.Sprintf("%d", s.Events.UndoAttempts))
+	if o.Adaptive() {
+		state := "cap reached without convergence"
+		if s.Converged {
+			state = "converged"
+		}
+		t.AddNote("adaptive: target half-width %.3g, stopped at %d of <= %d iterations (%s)",
+			s.TargetHalfWidth, s.Iterations, o.IterationCap(), state)
+	}
 	t.AddNote("%d iterations x %.3g h mission, seed %d, %s kernel", s.Iterations, s.MissionTime, *seed, resolved)
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		exitOn(err)

@@ -31,18 +31,24 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); with -full, the worker-process count")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		full     = flag.Bool("full", false, "run the paper-scale sweep (policies x HEP at 1e6 iterations/point) sharded across all cores")
+		full     = flag.Bool("full", false, "run the paper-scale sweep (policies x HEP at 1e6 iterations/point) pipelined across all cores")
+		targetHW = flag.Float64("target-halfwidth", 0, "with -full: stop each point at this CI half-width instead of the full iteration count (adaptive sequential sampling; -iters becomes the cap)")
 		undoLaws = flag.Bool("undo-laws", false, "shorthand for -fig undo-laws: compare hyper-exponential / lognormal human-error undo latencies against the paper's exponential assumption")
 	)
 	flag.Parse()
 
 	o := repro.Options{
-		MCIterations: *iters,
-		MissionTime:  *mission,
-		Seed:         *seed,
-		Workers:      *workers,
+		MCIterations:    *iters,
+		MissionTime:     *mission,
+		Seed:            *seed,
+		Workers:         *workers,
+		TargetHalfWidth: *targetHW,
 	}
 
+	if *targetHW != 0 && !*full {
+		fmt.Fprintln(os.Stderr, "repro: -target-halfwidth requires -full")
+		os.Exit(1)
+	}
 	if *full {
 		if err := repro.Full(o, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)

@@ -40,6 +40,7 @@ import (
 	"herald/internal/shard"
 	"herald/internal/sim"
 	"herald/internal/stats"
+	"herald/internal/sweep"
 )
 
 // Version identifies the library release.
@@ -118,7 +119,10 @@ func FleetAvailability(arrayAvailability float64, count int) float64 {
 type SimParams = sim.ArrayParams
 
 // SimOptions controls iteration count, mission time, seed, parallelism
-// and confidence level.
+// and confidence level. A positive TargetHalfWidth makes the run
+// adaptive (precision-targeted): it stops at the first canonical cell
+// boundary where the availability CI half-width reaches the target —
+// see the README's "Adaptive precision" section.
 type SimOptions = sim.Options
 
 // SimSummary is a Monte-Carlo result with availability, confidence
@@ -170,7 +174,10 @@ func PaperSimParams(n int, lambda, hep float64) SimParams {
 	return sim.PaperDefaults(n, lambda, hep)
 }
 
-// Simulate runs the Monte-Carlo reference model.
+// Simulate runs the Monte-Carlo reference model. Adaptive options
+// (SimOptions.TargetHalfWidth) stop the run at the requested CI
+// precision; the Summary's Iterations, TargetHalfWidth and Converged
+// fields report where and whether it stopped.
 func Simulate(p SimParams, o SimOptions) (SimSummary, error) { return sim.Run(p, o) }
 
 // ---------------------------------------------------------------------
@@ -222,6 +229,37 @@ func ServeShardWorkers(addr string) error { return shard.ListenAndServe(addr, ni
 // they are the building blocks SimulateSharded distributes.
 func SimulateRange(p SimParams, o SimOptions, start, end int) ([]SimPartial, error) {
 	return sim.RunRange(p, o, start, end)
+}
+
+// ---------------------------------------------------------------------
+// Pipelined scenario sweeps
+// ---------------------------------------------------------------------
+
+// SweepPoint is one scenario of a pipelined Monte-Carlo sweep: a
+// label plus the full simulation configuration (adaptive options make
+// the point precision-targeted).
+type SweepPoint = sweep.MCPoint
+
+// SweepResult is one sweep point's outcome: its Summary (bit-identical
+// to running the point alone), run statistics, and completion offset.
+type SweepResult = sweep.MCResult
+
+// SimulateSweep executes scenario points pipelined through one shared
+// pool of workerProcs local worker processes (0 = one per core):
+// point k+1's shards start while point k drains, so the pool never
+// idles at scenario boundaries. The calling binary's main must start
+// with MaybeShardWorker.
+func SimulateSweep(points []SweepPoint, workerProcs int) ([]SweepResult, error) {
+	workers, err := shard.SpawnLocal(workerProcs)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	return sweep.MonteCarlo(points, workers, nil)
 }
 
 // MergeSimPartials merges partials covering [0, o.Iterations) exactly

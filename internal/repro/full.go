@@ -9,17 +9,24 @@ import (
 	"herald/internal/report"
 	"herald/internal/shard"
 	"herald/internal/sim"
+	"herald/internal/sweep"
 )
 
 // Full runs the paper-scale evaluation sweep — every replacement
 // policy crossed with the paper's HEP values, at 1e6 Monte-Carlo
 // iterations per point (§V reports 99% confidence at that count) —
-// sharded across all local cores via internal/shard worker processes.
-// Any binary calling it must invoke shard.MaybeWorker at the top of
-// main. Options scale it: MCIterations overrides the per-point count,
-// Workers the worker-process count. The emitted table records the
-// wall time and iteration throughput of every point, which is where
-// the BENCH_*.json scale targets are measured.
+// pipelined across scenarios through one shared pool of local worker
+// processes (sweep.MonteCarlo): point k+1's shards start while point k
+// drains, so the pool never idles at point boundaries. Any binary
+// calling it must invoke shard.MaybeWorker at the top of main.
+//
+// Options scale it: MCIterations overrides the per-point count,
+// Workers the worker-process count, and a positive TargetHalfWidth
+// makes every point adaptive — it stops at the requested CI precision
+// instead of the full count, with MCIterations as the cap. The emitted
+// table records each point's completion offset; the total wall time
+// and aggregate throughput in the note line are where the
+// BENCH_*.json scale targets are measured.
 func Full(o Options, out io.Writer) error {
 	d := o.withDefaults()
 	iters := o.MCIterations
@@ -38,6 +45,26 @@ func Full(o Options, out io.Writer) error {
 	policies := []sim.Policy{sim.Conventional, sim.AutoFailover, sim.DualParity}
 	heps := []float64{0, 0.001, 0.01}
 
+	points := make([]sweep.MCPoint, 0, len(policies)*len(heps))
+	for _, pol := range policies {
+		for _, hep := range heps {
+			p := sim.PaperDefaults(4, lambda, hep)
+			p.Policy = pol
+			points = append(points, sweep.MCPoint{
+				Label:  fmt.Sprintf("%s hep=%g", pol, hep),
+				Params: p,
+				Options: sim.Options{
+					Iterations:      iters,
+					MissionTime:     d.MissionTime,
+					Seed:            d.Seed,
+					Confidence:      d.Confidence,
+					TargetHalfWidth: o.TargetHalfWidth,
+				},
+				Shards: shardCount,
+			})
+		}
+	}
+
 	workers, err := shard.SpawnLocal(procs)
 	if err != nil {
 		return err
@@ -48,43 +75,40 @@ func Full(o Options, out io.Writer) error {
 		}
 	}()
 
-	t := report.NewTable(
-		fmt.Sprintf("Paper-scale sweep: %d iterations/point, %d shards over %d local worker processes", iters, shardCount, procs),
-		"policy", "hep", "availability", "nines", "ci half-width", "wall s", "Miter/s")
-	for _, pol := range policies {
-		for _, hep := range heps {
-			p := sim.PaperDefaults(4, lambda, hep)
-			p.Policy = pol
-			opts := sim.Options{
-				Iterations:  iters,
-				MissionTime: d.MissionTime,
-				Seed:        d.Seed,
-				Confidence:  d.Confidence,
-			}
-			start := time.Now()
-			s, err := shard.Run(shard.Config{
-				Params:  p,
-				Options: opts,
-				Shards:  shardCount,
-				Workers: workers,
-			})
-			if err != nil {
-				return fmt.Errorf("repro: full sweep %s hep=%g: %w", pol, hep, err)
-			}
-			wall := time.Since(start)
-			t.AddRow(
-				pol.String(),
-				fmt.Sprintf("%g", hep),
-				fmt.Sprintf("%.9f", s.Availability),
-				report.F3(s.Nines),
-				report.E(s.HalfWidth),
-				fmt.Sprintf("%.2f", wall.Seconds()),
-				fmt.Sprintf("%.2f", float64(iters)/wall.Seconds()/1e6),
-			)
-		}
+	start := time.Now()
+	results, err := sweep.MonteCarlo(points, workers, nil)
+	if err != nil {
+		return fmt.Errorf("repro: full sweep: %w", err)
 	}
-	t.AddNote("lambda %g, mission %.3g h, seed %d, %d-disk arrays; sharded summaries are bit-identical to single-process runs",
+	total := time.Since(start)
+
+	title := fmt.Sprintf("Paper-scale sweep: %d iterations/point, %d shards/point pipelined over %d local worker processes",
+		iters, shardCount, procs)
+	if o.TargetHalfWidth > 0 {
+		title = fmt.Sprintf("Paper-scale sweep: adaptive to half-width %.3g (cap %d iterations/point), %d shards/wave pipelined over %d local worker processes",
+			o.TargetHalfWidth, iters, shardCount, procs)
+	}
+	t := report.NewTable(title,
+		"policy", "hep", "availability", "nines", "ci half-width", "iters", "done at s")
+	var totalIters int64
+	for i, r := range results {
+		pt := points[i]
+		p := pt.Params
+		totalIters += int64(r.Summary.Iterations)
+		t.AddRow(
+			p.Policy.String(),
+			fmt.Sprintf("%g", p.HEP),
+			fmt.Sprintf("%.9f", r.Summary.Availability),
+			report.F3(r.Summary.Nines),
+			report.E(r.Summary.HalfWidth),
+			fmt.Sprintf("%d", r.Summary.Iterations),
+			fmt.Sprintf("%.2f", r.Done.Seconds()),
+		)
+	}
+	t.AddNote("lambda %g, mission %.3g h, seed %d, %d-disk arrays; pipelined summaries are bit-identical to standalone runs",
 		lambda, d.MissionTime, d.Seed, 4)
+	t.AddNote("total wall %.2f s, %.2f Miter/s aggregate over the shared pool",
+		total.Seconds(), float64(totalIters)/total.Seconds()/1e6)
 	if _, err := t.WriteTo(out); err != nil {
 		return err
 	}

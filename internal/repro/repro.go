@@ -26,6 +26,10 @@ type Options struct {
 	Confidence float64
 	// Workers caps simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// TargetHalfWidth, when positive, makes the paper-scale sweep
+	// (Full) adaptive: each point stops at this CI half-width instead
+	// of running the full MCIterations count.
+	TargetHalfWidth float64
 }
 
 // Defaults returns laptop-scale options: 4000 iterations over a

@@ -1,0 +1,486 @@
+package shard
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"herald/internal/sim"
+)
+
+// adaptiveOptions returns CI-scale adaptive options whose stopping
+// rule binds well inside the cap for testParams configurations.
+func adaptiveOptions() sim.Options {
+	return sim.Options{
+		Iterations:      60000,
+		MissionTime:     2e5,
+		Seed:            20170327,
+		Workers:         2,
+		TargetHalfWidth: 1.5e-5,
+	}
+}
+
+// TestAdaptiveShardedMatchesInProcess pins the adaptive determinism
+// contract across the execution stack: a sharded adaptive run stops at
+// the identical cell boundary as the in-process sim.Run, for every
+// policy and several shard counts, with a byte-identical Summary.
+func TestAdaptiveShardedMatchesInProcess(t *testing.T) {
+	for _, pol := range []sim.Policy{sim.Conventional, sim.AutoFailover, sim.DualParity} {
+		p := testParams(pol)
+		o := adaptiveOptions()
+		base, err := sim.Run(p, o)
+		if err != nil {
+			t.Fatalf("%v: baseline: %v", pol, err)
+		}
+		if base.Iterations >= o.Iterations {
+			t.Fatalf("%v: adaptive baseline hit the cap (%d); loosen the target", pol, base.Iterations)
+		}
+		want := summaryBytes(t, base)
+		for _, shards := range []int{1, 2, 7} {
+			workers := []Worker{NewInProcessWorker("a", 1), NewInProcessWorker("b", 1)}
+			got, st, err := RunStats(Config{Params: p, Options: o, Shards: shards, Workers: workers})
+			if err != nil {
+				t.Fatalf("%v shards=%d: %v", pol, shards, err)
+			}
+			if g := summaryBytes(t, got); string(g) != string(want) {
+				t.Errorf("%v shards=%d: adaptive sharded summary diverged\n got %s\nwant %s", pol, shards, g, want)
+			}
+			if !st.StoppedEarly {
+				t.Errorf("%v shards=%d: run did not stop early", pol, shards)
+			}
+			if st.Waves < 1 {
+				t.Errorf("%v shards=%d: no waves opened", pol, shards)
+			}
+		}
+	}
+}
+
+// TestAdaptiveWaveKilledWorker SIGKILLs a real worker process mid-wave
+// during an adaptive run: the coordinator must reassign its shard,
+// still converge to the target, and report the byte-identical Summary
+// of an undisturbed adaptive run (exactly-once merging).
+func TestAdaptiveWaveKilledWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	p := testParams(sim.Conventional)
+	o := adaptiveOptions()
+	base, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers, err := SpawnLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	// Kill one worker before the run: its first assignment fails like a
+	// mid-wave death and the survivor absorbs the wave.
+	if err := workers[0].(*processWorker).Kill(); err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	got, st, err := RunStats(Config{Params: p, Options: o, Shards: 4, Workers: workers, Log: &log})
+	if err != nil {
+		t.Fatalf("%v (log: %s)", err, log.String())
+	}
+	if st.WorkerFailures != 1 {
+		t.Errorf("worker failures = %d, want 1 (log: %s)", st.WorkerFailures, log.String())
+	}
+	if !got.Converged || got.HalfWidth > o.TargetHalfWidth {
+		t.Errorf("run did not converge: half-width %g, target %g", got.HalfWidth, o.TargetHalfWidth)
+	}
+	if string(summaryBytes(t, got)) != string(summaryBytes(t, base)) {
+		t.Error("adaptive summary diverged after worker kill")
+	}
+}
+
+// TestAdaptiveCheckpointResume interrupts an adaptive run after some
+// wave shards complete, then resumes from the checkpoint: only the
+// remainder recomputes and the result is byte-identical.
+func TestAdaptiveCheckpointResume(t *testing.T) {
+	p := testParams(sim.Conventional)
+	o := adaptiveOptions()
+	base, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpPath := filepath.Join(t.TempDir(), "adaptive.ckpt")
+
+	// First attempt: the only worker dies after 2 shards, failing the
+	// run — but those shards are checkpointed.
+	_, st, err := RunStats(Config{
+		Params: p, Options: o, Shards: 2, Checkpoint: cpPath,
+		Workers: []Worker{&flakyWorker{inner: NewInProcessWorker("w", 1), failAfter: 2}},
+	})
+	if err == nil {
+		t.Fatal("expected first attempt to fail")
+	}
+	if st.Computed != 2 {
+		t.Fatalf("first attempt computed %d shards, want 2", st.Computed)
+	}
+
+	got, st, err := RunStats(Config{
+		Params: p, Options: o, Shards: 2, Checkpoint: cpPath,
+		Workers: []Worker{NewInProcessWorker("w", 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FromCheckpoint != 2 {
+		t.Errorf("resume restored %d shards, want 2", st.FromCheckpoint)
+	}
+	if string(summaryBytes(t, got)) != string(summaryBytes(t, base)) {
+		t.Error("resumed adaptive summary diverged from the in-process baseline")
+	}
+}
+
+// TestAdaptiveCheckpointTornTail extends the torn-tail recovery test
+// to open-ended (adaptive) runs: a crash mid-append tears the last
+// checkpoint record; resume drops it, recomputes that shard, and still
+// converges byte-identically.
+func TestAdaptiveCheckpointTornTail(t *testing.T) {
+	p := testParams(sim.Conventional)
+	o := adaptiveOptions()
+	base, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpPath := filepath.Join(t.TempDir(), "adaptive.ckpt")
+
+	// Interrupted first attempt leaves a partial checkpoint.
+	if _, _, err := RunStats(Config{
+		Params: p, Options: o, Shards: 2, Checkpoint: cpPath,
+		Workers: []Worker{&flakyWorker{inner: NewInProcessWorker("w", 1), failAfter: 3}},
+	}); err == nil {
+		t.Fatal("expected interrupted attempt to fail")
+	}
+
+	// Tear the final record mid-line, as a crash during append would.
+	raw, err := os.ReadFile(cpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+	if len(lines) < 3 { // header + >= 2 records
+		t.Fatalf("checkpoint has %d lines, want >= 3", len(lines))
+	}
+	last := lines[len(lines)-1]
+	torn := append(bytes.Join(lines[:len(lines)-1], []byte("\n")), '\n')
+	torn = append(torn, last[:len(last)/2]...)
+	if err := os.WriteFile(cpPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	got, st, err := RunStats(Config{
+		Params: p, Options: o, Shards: 2, Checkpoint: cpPath,
+		Workers: []Worker{NewInProcessWorker("w", 1)},
+		Log:     &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "torn") {
+		t.Errorf("log does not mention the torn record:\n%s", log.String())
+	}
+	if st.FromCheckpoint != 2 {
+		t.Errorf("resume restored %d shards, want 2 (one of 3 torn)", st.FromCheckpoint)
+	}
+	if !got.Converged {
+		t.Error("resumed run did not converge")
+	}
+	if string(summaryBytes(t, got)) != string(summaryBytes(t, base)) {
+		t.Error("summary diverged after torn adaptive checkpoint")
+	}
+}
+
+// TestPipelineMatchesSequential pins the sweep pipelining contract:
+// runs executed through one shared pool are byte-identical to the same
+// runs executed one after another, and results come back in spec
+// order with nondecreasing completion offsets... completion offsets
+// are per-run; only their positivity is guaranteed.
+func TestPipelineMatchesSequential(t *testing.T) {
+	heps := []float64{0, 0.005, 0.02}
+	specs := make([]RunSpec, 0, len(heps))
+	var want [][]byte
+	for _, hep := range heps {
+		p := sim.PaperDefaults(4, 1e-4, hep)
+		o := testOptions()
+		base, err := sim.Run(p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, summaryBytes(t, base))
+		specs = append(specs, RunSpec{Params: p, Options: o, Shards: 3})
+	}
+	workers := []Worker{NewInProcessWorker("a", 1), NewInProcessWorker("b", 1)}
+	res, err := RunPipeline(specs, workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(specs) {
+		t.Fatalf("pipeline returned %d results, want %d", len(res), len(specs))
+	}
+	for i, r := range res {
+		if g := summaryBytes(t, r.Summary); string(g) != string(want[i]) {
+			t.Errorf("point %d: pipelined summary diverged\n got %s\nwant %s", i, g, want[i])
+		}
+		if r.Wall <= 0 {
+			t.Errorf("point %d: non-positive completion offset %v", i, r.Wall)
+		}
+		if r.Stats.Computed != r.Stats.Shards {
+			t.Errorf("point %d: computed %d of %d shards", i, r.Stats.Computed, r.Stats.Shards)
+		}
+	}
+}
+
+// TestPipelineMixedAdaptiveFixed pipelines an adaptive run behind a
+// fixed one and checks both match their solo executions.
+func TestPipelineMixedAdaptiveFixed(t *testing.T) {
+	pFixed := testParams(sim.DualParity)
+	oFixed := testOptions()
+	baseFixed, err := sim.Run(pFixed, oFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAdapt := testParams(sim.Conventional)
+	oAdapt := adaptiveOptions()
+	baseAdapt, err := sim.Run(pAdapt, oAdapt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := []Worker{NewInProcessWorker("a", 1), NewInProcessWorker("b", 1)}
+	res, err := RunPipeline([]RunSpec{
+		{Params: pFixed, Options: oFixed, Shards: 2},
+		{Params: pAdapt, Options: oAdapt, Shards: 2},
+	}, workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := summaryBytes(t, res[0].Summary); string(g) != string(summaryBytes(t, baseFixed)) {
+		t.Error("fixed run diverged in the mixed pipeline")
+	}
+	if g := summaryBytes(t, res[1].Summary); string(g) != string(summaryBytes(t, baseAdapt)) {
+		t.Error("adaptive run diverged in the mixed pipeline")
+	}
+	if !res[1].Stats.StoppedEarly {
+		t.Error("adaptive run in pipeline did not stop early")
+	}
+}
+
+// TestWorkerCancelProtocol pins the v2 cancel exchange at the protocol
+// level: a job answered by a cancel comes back as a cancelled message
+// and the worker stays usable for the next job.
+func TestWorkerCancelProtocol(t *testing.T) {
+	server, client := pipeTransports()
+	go func() { _ = Serve(server) }()
+
+	p := testParams(sim.Conventional)
+	wire, err := EncodeParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A large cancellable job the cancel will interrupt.
+	o := sim.Options{Iterations: 5_000_000, MissionTime: 2e5, Seed: 1, Workers: 1}
+	if err := client.Send(&Message{Type: MsgJob, Job: &Job{ID: 7, Start: 0, End: o.Iterations, Params: wire, Options: o, Cancellable: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(&Message{Type: MsgCancel, ID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(30 * time.Second)
+	for {
+		type recvd struct {
+			m   *Message
+			err error
+		}
+		ch := make(chan recvd, 1)
+		go func() {
+			m, err := client.Recv()
+			ch <- recvd{m, err}
+		}()
+		var m *Message
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			m = r.m
+		case <-deadline:
+			t.Fatal("no cancelled acknowledgement before deadline")
+		}
+		if m.Type == MsgHello {
+			continue
+		}
+		if m.Type != MsgCancelled || m.ID != 7 {
+			t.Fatalf("got message %q id %d, want cancelled id 7", m.Type, m.ID)
+		}
+		break
+	}
+
+	// The worker is still usable: a small follow-up job completes.
+	o2 := sim.Options{Iterations: 500, MissionTime: 2e5, Seed: 1, Workers: 1}
+	if err := client.Send(&Message{Type: MsgJob, Job: &Job{ID: 8, Start: 0, End: 500, Params: wire, Options: o2}}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		m, err := client.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type == MsgHello {
+			continue
+		}
+		if m.Type != MsgResult || m.ID != 8 {
+			t.Fatalf("got message %q id %d, want result id 8", m.Type, m.ID)
+		}
+		if !tilesRange(m.Partials, 0, 500, 1, 2e5) {
+			t.Error("follow-up job returned invalid partials")
+		}
+		break
+	}
+
+	// A cancel that overtakes its job (the coordinator's cancel send
+	// can win the transport mutex) is tombstoned: the job is answered
+	// cancelled without executing.
+	if err := client.Send(&Message{Type: MsgCancel, ID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(&Message{Type: MsgJob, Job: &Job{ID: 9, Start: 0, End: o.Iterations, Params: wire, Options: o, Cancellable: true}}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		m, err := client.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type == MsgHello {
+			continue
+		}
+		if m.Type != MsgCancelled || m.ID != 9 {
+			t.Fatalf("got message %q id %d, want cancelled id 9", m.Type, m.ID)
+		}
+		break
+	}
+}
+
+// TestInProcessWorkerCancel pins ErrJobCancelled on the in-process
+// backend.
+func TestInProcessWorkerCancel(t *testing.T) {
+	p := testParams(sim.Conventional)
+	wire, err := EncodeParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewInProcessWorker("w", 1)
+	o := sim.Options{Iterations: 5_000_000, MissionTime: 2e5, Seed: 2, Workers: 1}
+	job := &Job{ID: 3, Start: 0, End: o.Iterations, Params: wire, Options: o}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := w.Run(job)
+		errc <- err
+	}()
+	// Let the job start, then cancel it.
+	time.Sleep(20 * time.Millisecond)
+	w.(JobCanceler).CancelJob(3)
+	select {
+	case err := <-errc:
+		if err != ErrJobCancelled {
+			t.Fatalf("Run returned %v, want ErrJobCancelled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled Run did not return")
+	}
+
+	// A cancel that races ahead of Run is tombstoned: the job must not
+	// execute at all.
+	w.(JobCanceler).CancelJob(4)
+	if _, err := w.Run(&Job{ID: 4, Start: 0, End: o.Iterations, Params: wire, Options: o}); err != ErrJobCancelled {
+		t.Fatalf("pre-cancelled Run returned %v, want ErrJobCancelled", err)
+	}
+}
+
+// TestAdaptivePartition pins the wave plan: shards tile a prefix
+// structure of [0, cap) contiguously, cell-aligned, with geometric
+// cumulative growth and the floor inside the first wave.
+func TestAdaptivePartition(t *testing.T) {
+	for _, tc := range []struct{ cap, floor, spw int }{
+		{1_000_000, 0, 8}, {1_000_000, 100_000, 4}, {2000, 0, 2}, {64, 0, 16}, {50_000, 50_000, 3},
+	} {
+		shards, waves := adaptivePartition(tc.cap, tc.floor, tc.spw)
+		cs := sim.CellSize(tc.cap)
+		cursor := 0
+		seen := 0
+		for wi, ids := range waves {
+			if len(ids) == 0 {
+				t.Fatalf("%+v: empty wave %d", tc, wi)
+			}
+			if len(ids) > tc.spw {
+				t.Errorf("%+v: wave %d has %d shards, cap %d", tc, wi, len(ids), tc.spw)
+			}
+			for _, id := range ids {
+				if id != seen {
+					t.Fatalf("%+v: wave %d lists shard %d, want %d (ids must be dense in wave order)", tc, wi, id, seen)
+				}
+				seen++
+				r := shards[id]
+				if r.Start != cursor || r.End <= r.Start {
+					t.Fatalf("%+v: shard %d range %+v at cursor %d", tc, id, r, cursor)
+				}
+				if r.Start%cs != 0 || (r.End%cs != 0 && r.End != tc.cap) {
+					t.Fatalf("%+v: shard %d range %+v not cell-aligned (cell %d)", tc, id, r, cs)
+				}
+				cursor = r.End
+			}
+			if wi == 0 && tc.floor > 0 && cursor < tc.floor {
+				t.Errorf("%+v: first wave ends at %d, below the floor %d", tc, cursor, tc.floor)
+			}
+		}
+		if cursor != tc.cap {
+			t.Fatalf("%+v: waves end at %d, want %d", tc, cursor, tc.cap)
+		}
+		if seen != len(shards) {
+			t.Fatalf("%+v: %d shards listed in waves, want %d", tc, seen, len(shards))
+		}
+	}
+}
+
+// TestAdaptiveTCPWorker runs an adaptive sharded run over a real TCP
+// worker, exercising the remote job/cancel exchange end to end.
+func TestAdaptiveTCPWorker(t *testing.T) {
+	addr := make(chan net.Addr, 1)
+	go func() {
+		_ = ListenAndServe("127.0.0.1:0", func(a net.Addr) { addr <- a })
+	}()
+	w, err := Dial((<-addr).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	p := testParams(sim.Conventional)
+	o := adaptiveOptions()
+	base, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := RunStats(Config{Params: p, Options: o, Shards: 2, Workers: []Worker{w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.StoppedEarly {
+		t.Error("TCP adaptive run did not stop early")
+	}
+	if string(summaryBytes(t, got)) != string(summaryBytes(t, base)) {
+		t.Error("TCP adaptive summary diverged from the in-process baseline")
+	}
+}

@@ -3,7 +3,10 @@ package shard
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"herald/internal/sim"
 )
@@ -11,13 +14,15 @@ import (
 // Config describes one distributed run.
 type Config struct {
 	// Params and Options configure the simulation exactly as sim.Run
-	// would receive them.
+	// would receive them. Adaptive options (TargetHalfWidth, MaxIters)
+	// switch the coordinator to wave-based precision-targeted handout.
 	Params  sim.ArrayParams
 	Options sim.Options
 	// Shards is the number of contiguous iteration shards to
 	// partition the run into (default: one per worker). Shard
 	// boundaries always fall on the canonical cell boundaries, and the
-	// count is capped at the cell count, so over-asking is safe.
+	// count is capped at the cell count, so over-asking is safe. For
+	// adaptive runs it is the shard count per wave.
 	Shards int
 	// Workers execute the shards; at least one is required. Use
 	// SpawnLocal for sibling processes, Dial for remote TCP workers,
@@ -32,10 +37,33 @@ type Config struct {
 	Log io.Writer
 }
 
+// RunSpec is one run of a pipelined multi-run execution: Config minus
+// the shared worker pool.
+type RunSpec struct {
+	Params     sim.ArrayParams
+	Options    sim.Options
+	Shards     int
+	Checkpoint string
+}
+
+// RunResult is one run's outcome in a pipelined execution.
+type RunResult struct {
+	// Summary is the run's merged result (zero when the pipeline
+	// failed before the run finished).
+	Summary sim.Summary
+	// Stats reports how the run unfolded.
+	Stats Stats
+	// Wall is the run's completion offset from the pipeline start —
+	// runs share the pool, so per-run spans overlap and the last run's
+	// Wall is the pipeline's total.
+	Wall time.Duration
+}
+
 // Stats reports how a distributed run unfolded, for observability and
 // fault-injection tests.
 type Stats struct {
-	// Shards is the partition size of the run.
+	// Shards is the partition size of the run (for adaptive runs, the
+	// full wave plan's shard count — not all of which necessarily ran).
 	Shards int
 	// FromCheckpoint counts shards restored from the resume log
 	// without recomputation.
@@ -48,6 +76,14 @@ type Stats struct {
 	// WorkerFailures counts workers that died mid-run and had their
 	// shard reassigned.
 	WorkerFailures int
+	// Waves counts the handout waves opened (1 for fixed-N runs).
+	Waves int
+	// CancelledJobs counts in-flight jobs abandoned after the stopping
+	// rule bound.
+	CancelledJobs int
+	// StoppedEarly reports that the adaptive stopping rule bound below
+	// the iteration cap.
+	StoppedEarly bool
 }
 
 // Partition returns the contiguous shard ranges of a run of n
@@ -75,6 +111,56 @@ func Partition(n, shards int) []sim.Range {
 	return out
 }
 
+// adaptivePartition returns the shard ranges and the per-wave shard-id
+// lists of an adaptive run. Waves grow the handed-out iteration prefix
+// of [0, capIters) geometrically — the first wave covers at least the
+// rule's floor and one shard per pool slot, every later wave doubles
+// the cumulative cell count — so the work spent past the stopping
+// boundary is bounded by the prefix already proven necessary. Each
+// wave is split into at most shardsPerWave contiguous shards along the
+// cap run's canonical cells.
+func adaptivePartition(capIters, floorIters, shardsPerWave int) (shards []sim.Range, waves [][]int) {
+	cells := sim.Cells(capIters)
+	cs := sim.CellSize(capIters)
+	if shardsPerWave < 1 {
+		shardsPerWave = 1
+	}
+	first := shardsPerWave
+	if fc := (floorIters + cs - 1) / cs; fc > first {
+		first = fc
+	}
+	if first > len(cells) {
+		first = len(cells)
+	}
+	for cum := 0; cum < len(cells); {
+		next := first
+		if cum > 0 {
+			next = 2 * cum
+		}
+		if next > len(cells) {
+			next = len(cells)
+		}
+		n := next - cum
+		k := shardsPerWave
+		if k > n {
+			k = n
+		}
+		ids := make([]int, 0, k)
+		for s := 0; s < k; s++ {
+			lo := cum + s*n/k
+			hi := cum + (s+1)*n/k
+			if lo == hi {
+				continue
+			}
+			ids = append(ids, len(shards))
+			shards = append(shards, sim.Range{Start: cells[lo].Start, End: cells[hi-1].End})
+		}
+		waves = append(waves, ids)
+		cum = next
+	}
+	return shards, waves
+}
+
 // Run executes the distributed run and returns its summary.
 func Run(cfg Config) (sim.Summary, error) {
 	s, _, err := RunStats(cfg)
@@ -83,114 +169,335 @@ func Run(cfg Config) (sim.Summary, error) {
 
 // RunStats is Run with the run's fault/resume statistics.
 func RunStats(cfg Config) (sim.Summary, Stats, error) {
-	var st Stats
-	if err := cfg.Params.Validate(); err != nil {
-		return sim.Summary{}, st, err
+	res, err := RunPipeline([]RunSpec{{
+		Params:     cfg.Params,
+		Options:    cfg.Options,
+		Shards:     cfg.Shards,
+		Checkpoint: cfg.Checkpoint,
+	}}, cfg.Workers, cfg.Log)
+	if len(res) != 1 {
+		return sim.Summary{}, Stats{}, err
 	}
-	if err := cfg.Options.Validate(); err != nil {
-		return sim.Summary{}, st, err
+	return res[0].Summary, res[0].Stats, err
+}
+
+// RunPipeline executes several runs through one shared worker pool,
+// pipelined: a later run's shards are handed out as soon as a pool
+// slot frees up, so run k+1 starts while run k's tail shards (or
+// adaptive drain) still execute. Runs are prioritized in index order —
+// a worker only takes run k+1 work when run k has nothing queued — and
+// every run's Summary is bit-identical to executing it alone.
+//
+// The returned slice always has one RunResult per spec (zero Summary
+// for runs the pipeline failed before finishing); the error is the
+// first fatal condition, nil when every run completed.
+func RunPipeline(specs []RunSpec, workers []Worker, logw io.Writer) ([]RunResult, error) {
+	out := make([]RunResult, len(specs))
+	if len(specs) == 0 {
+		return out, nil
 	}
-	if len(cfg.Workers) == 0 {
-		return sim.Summary{}, st, fmt.Errorf("shard: no workers")
+	if len(workers) == 0 {
+		return out, fmt.Errorf("shard: no workers")
 	}
-	logw := cfg.Log
 	if logw == nil {
 		logw = io.Discard
 	}
-	wire, err := EncodeParams(cfg.Params)
-	if err != nil {
-		return sim.Summary{}, st, err
-	}
-	shardCount := cfg.Shards
-	if shardCount < 1 {
-		shardCount = len(cfg.Workers)
-	}
-	shards := Partition(cfg.Options.Iterations, shardCount)
-	st.Shards = len(shards)
-
-	// Checkpoint: restore completed shards, open the append log.
-	var done map[int][]sim.Partial
-	var cp *checkpoint
-	if cfg.Checkpoint != "" {
-		fp := Fingerprint(wire, cfg.Options, len(shards))
-		done, cp, err = openCheckpoint(cfg.Checkpoint, fp, shards, cfg.Options.Seed, cfg.Options.MissionTime, logw)
-		if err != nil {
-			return sim.Summary{}, st, err
-		}
-		defer cp.close()
-		st.FromCheckpoint = len(done)
-	}
-	if done == nil {
-		done = make(map[int][]sim.Partial)
-	}
-
 	d := &dispatcher{
-		shards:  shards,
-		seed:    cfg.Options.Seed,
-		mission: cfg.Options.MissionTime,
-		done:    done,
-		cp:      cp,
-		logw:    logw,
+		logw:     logw,
+		start:    time.Now(),
+		jobIndex: make(map[int]jobKey),
+		assigned: make(map[int]*assignment),
 	}
 	d.cond = sync.NewCond(&d.mu)
-	for id := range shards {
-		if _, ok := done[id]; !ok {
-			d.queue = append(d.queue, id)
+	for i := range specs {
+		r, err := newRunState(i, &specs[i], len(workers), logw)
+		if err != nil {
+			d.closeCheckpoints()
+			return out, err
 		}
+		d.runs = append(d.runs, r)
 	}
+	defer d.closeCheckpoints()
+
+	// Runs fully restored from their checkpoints finish before any
+	// worker is consulted.
+	d.mu.Lock()
+	for _, r := range d.runs {
+		d.advanceLocked(r)
+	}
+	d.mu.Unlock()
 
 	var wg sync.WaitGroup
-	for _, w := range cfg.Workers {
+	for _, w := range workers {
 		if sb, ok := w.(strayBanker); ok {
 			sb.setStray(d.bankStray)
 		}
 		wg.Add(1)
 		go func(w Worker) {
 			defer wg.Done()
-			d.serve(w, wire, cfg.Options)
+			d.serve(w)
 		}(w)
 	}
 	wg.Wait()
 
-	st.Computed = d.computed
-	st.DuplicateResults = d.dups
-	st.WorkerFailures = d.failures
-	if d.fatal != nil {
-		return sim.Summary{}, st, d.fatal
+	var firstErr error
+	d.mu.Lock()
+	firstErr = d.fatal
+	for _, r := range d.runs {
+		out[r.idx] = RunResult{Summary: r.summary, Stats: r.stats, Wall: r.wall}
+		if !r.finished && firstErr == nil {
+			firstErr = fmt.Errorf("shard: %d of %d shards unassigned and no live workers remain",
+				len(r.shards)-len(r.done), len(r.shards))
+		}
 	}
-	if len(d.done) != len(shards) {
-		return sim.Summary{}, st, fmt.Errorf("shard: %d of %d shards unassigned and no live workers remain",
-			len(shards)-len(d.done), len(shards))
-	}
-
-	parts := make([]sim.Partial, 0, len(shards))
-	for id := range shards {
-		parts = append(parts, d.done[id]...)
-	}
-	summary, err := sim.Summarize(cfg.Options, parts)
-	return summary, st, err
+	d.mu.Unlock()
+	return out, firstErr
 }
 
-// dispatcher is the coordinator's shared state: the pending-shard
-// queue, the completed-shard map, and the exactly-once bookkeeping.
-type dispatcher struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+// runState is one run's private state inside a pipelined dispatch.
+type runState struct {
+	idx  int
+	spec *RunSpec
+	wire WireParams
+	// jobOptions are the options every job of this run carries:
+	// Iterations raised to the cap, adaptive fields stripped (workers
+	// always execute fixed ranges).
+	jobOptions sim.Options
+	adaptive   bool
+	capIters   int
+	scan       *sim.StopScan
 
 	shards   []sim.Range
-	seed     uint64
-	mission  float64
+	waves    [][]int // shard ids per handout wave
+	nextWave int
 	queue    []int // pending shard ids
 	inflight int
 
 	done      map[int][]sim.Partial
+	malformed map[int]int
 	cp        *checkpoint
-	logw      io.Writer
-	fatal     error
-	computed  int
-	dups      int
-	failures  int
-	malformed map[int]int // per-shard malformed-result count
+
+	// prefixShard is the next shard id whose cells the stopping scan
+	// has not folded yet (adaptive runs only).
+	prefixShard int
+
+	finished bool
+	summary  sim.Summary
+	stats    Stats
+	wall     time.Duration
+}
+
+// newRunState validates and partitions one run, restoring its
+// checkpoint when configured.
+func newRunState(idx int, spec *RunSpec, poolSize int, logw io.Writer) (*runState, error) {
+	if err := spec.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Options.Validate(); err != nil {
+		return nil, err
+	}
+	wire, err := EncodeParams(spec.Params)
+	if err != nil {
+		return nil, err
+	}
+	r := &runState{
+		idx:      idx,
+		spec:     spec,
+		wire:     wire,
+		adaptive: spec.Options.Adaptive(),
+		capIters: spec.Options.IterationCap(),
+	}
+	shardCount := spec.Shards
+	if shardCount < 1 {
+		shardCount = poolSize
+	}
+	if r.adaptive {
+		scan, err := sim.NewStopScan(spec.Options)
+		if err != nil {
+			return nil, err
+		}
+		r.scan = scan
+		floor := 0
+		if spec.Options.MaxIters > 0 {
+			floor = spec.Options.Iterations
+		}
+		r.shards, r.waves = adaptivePartition(r.capIters, floor, shardCount)
+	} else {
+		r.shards = Partition(spec.Options.Iterations, shardCount)
+		all := make([]int, len(r.shards))
+		for i := range all {
+			all[i] = i
+		}
+		r.waves = [][]int{all}
+	}
+	r.stats.Shards = len(r.shards)
+	r.jobOptions = spec.Options
+	r.jobOptions.Iterations = r.capIters
+	r.jobOptions.TargetHalfWidth = 0
+	r.jobOptions.MaxIters = 0
+
+	if spec.Checkpoint != "" {
+		fp := Fingerprint(wire, spec.Options, len(r.shards))
+		done, cp, err := openCheckpoint(spec.Checkpoint, fp, r.shards, spec.Options.Seed, spec.Options.MissionTime, logw)
+		if err != nil {
+			return nil, err
+		}
+		r.done, r.cp = done, cp
+		r.stats.FromCheckpoint = len(done)
+		for id := range done {
+			sortParts(done[id])
+		}
+	}
+	if r.done == nil {
+		r.done = make(map[int][]sim.Partial)
+	}
+	return r, nil
+}
+
+// sortParts orders a shard's cell partials canonically (workers
+// deliver them in completion order).
+func sortParts(parts []sim.Partial) {
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Start < parts[j].Start })
+}
+
+// jobKey names a (run, shard) pair; job ids map onto it.
+type jobKey struct{ run, shard int }
+
+// assignment tracks one in-flight job for cancellation.
+type assignment struct {
+	key jobKey
+	w   Worker
+}
+
+// dispatcher is the pipelined coordinator's shared state.
+type dispatcher struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	runs  []*runState
+	logw  io.Writer
+	fatal error
+	start time.Time
+
+	jobIndex map[int]jobKey      // every job ever issued (strays resolve here)
+	assigned map[int]*assignment // in-flight jobs only
+}
+
+// jobSeq issues process-unique job ids. Uniqueness across coordinators
+// matters because workers outlive runs: a cancel that loses its race
+// to an already-sent result leaves a tombstone for that id on the
+// worker, and a later coordinator reusing the id would see its job
+// falsely answered as cancelled.
+var jobSeq atomic.Int64
+
+func (d *dispatcher) closeCheckpoints() {
+	for _, r := range d.runs {
+		r.cp.close()
+	}
+}
+
+// serve drives one worker: claim a job, run it, bank the result; on
+// worker death requeue the shard and retire.
+func (d *dispatcher) serve(w Worker) {
+	for {
+		job, key, ok := d.claim(w)
+		if !ok {
+			return
+		}
+		parts, err := w.Run(job)
+		switch {
+		case err == nil:
+			d.bank(key, job.ID, parts, true)
+		case err == ErrJobCancelled:
+			d.cancelled(key, job.ID)
+		default:
+			if je, isJob := err.(*JobError); isJob {
+				// The worker is alive but rejected the job: rerunning
+				// elsewhere would fail identically, so the pipeline is
+				// dead.
+				d.fail(key, job.ID, fmt.Errorf("shard: %w", je))
+				return
+			}
+			d.mu.Lock()
+			r := d.runs[key.run]
+			r.stats.WorkerFailures++
+			r.inflight--
+			delete(d.assigned, job.ID)
+			if _, alreadyDone := r.done[key.shard]; !alreadyDone && !r.finished {
+				r.queue = append(r.queue, key.shard)
+			}
+			fmt.Fprintf(d.logw, "shard: worker %s died (%v); run %d shard %d reassigned\n", w.Name(), err, key.run, key.shard)
+			d.cond.Broadcast()
+			d.mu.Unlock()
+			return
+		}
+	}
+}
+
+// claim blocks until a shard of some run is available, all work is
+// finished, or a fatal error occurred. Runs are scanned in index
+// order, which is what pipelines them: run k+1 work is only taken when
+// run k has nothing queued right now.
+func (d *dispatcher) claim(w Worker) (*Job, jobKey, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.fatal != nil {
+			return nil, jobKey{}, false
+		}
+		allFinished := true
+		inflight := 0
+		for _, r := range d.runs {
+			if r.finished {
+				continue
+			}
+			allFinished = false
+			inflight += r.inflight
+			d.refillLocked(r)
+			if len(r.queue) == 0 {
+				continue
+			}
+			min := 0
+			for i := range r.queue {
+				if r.queue[i] < r.queue[min] {
+					min = i
+				}
+			}
+			id := r.queue[min]
+			r.queue = append(r.queue[:min], r.queue[min+1:]...)
+			r.inflight++
+			jid := int(jobSeq.Add(1))
+			key := jobKey{run: r.idx, shard: id}
+			d.jobIndex[jid] = key
+			d.assigned[jid] = &assignment{key: key, w: w}
+			rg := r.shards[id]
+			return &Job{ID: jid, Start: rg.Start, End: rg.End, Params: r.wire,
+				Options: r.jobOptions, Cancellable: r.adaptive}, key, true
+		}
+		if allFinished {
+			return nil, jobKey{}, false
+		}
+		if inflight == 0 {
+			// Nothing queued, nothing running, not all done: every
+			// other worker is gone and there is no work to steal.
+			return nil, jobKey{}, false
+		}
+		d.cond.Wait()
+	}
+}
+
+// refillLocked opens the next wave(s) of an unfinished run whose
+// current wave fully banked. Callers hold d.mu.
+func (d *dispatcher) refillLocked(r *runState) {
+	for len(r.queue) == 0 && r.inflight == 0 && !r.finished && r.nextWave < len(r.waves) {
+		for _, id := range r.waves[r.nextWave] {
+			if _, ok := r.done[id]; !ok {
+				r.queue = append(r.queue, id)
+			}
+		}
+		r.nextWave++
+		r.stats.Waves++
+	}
 }
 
 // maxMalformedPerShard bounds how often a shard's results may fail
@@ -199,133 +506,181 @@ type dispatcher struct {
 // whose seeding changed) would recompute the same shard forever.
 const maxMalformedPerShard = 3
 
-// serve drives one worker: claim a shard, run it, bank the result;
-// on worker death requeue the shard and retire.
-func (d *dispatcher) serve(w Worker, wire WireParams, o sim.Options) {
-	for {
-		id, ok := d.claim()
-		if !ok {
-			return
-		}
-		r := d.shards[id]
-		job := &Job{ID: id, Start: r.Start, End: r.End, Params: wire, Options: o}
-		parts, err := w.Run(job)
-		if err != nil {
-			if je, isJob := err.(*JobError); isJob {
-				// The worker is alive but rejected the job: rerunning
-				// elsewhere would fail identically, so the run is dead.
-				d.fail(id, fmt.Errorf("shard: %w", je))
-				return
-			}
-			d.mu.Lock()
-			d.failures++
-			d.inflight--
-			if _, alreadyDone := d.done[id]; !alreadyDone {
-				d.queue = append(d.queue, id)
-			}
-			fmt.Fprintf(d.logw, "shard: worker %s died (%v); shard %d reassigned\n", w.Name(), err, id)
-			d.cond.Broadcast()
-			d.mu.Unlock()
-			return
-		}
-		d.bank(id, parts, true)
-	}
-}
-
-// claim blocks until a shard is available, all work is finished, or a
-// fatal error occurred. It returns (shard id, true) on assignment.
-func (d *dispatcher) claim() (int, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for {
-		if d.fatal != nil || len(d.done) == len(d.shards) {
-			return 0, false
-		}
-		if len(d.queue) > 0 {
-			min := 0
-			for i := range d.queue {
-				if d.queue[i] < d.queue[min] {
-					min = i
-				}
-			}
-			id := d.queue[min]
-			d.queue = append(d.queue[:min], d.queue[min+1:]...)
-			d.inflight++
-			return id, true
-		}
-		if d.inflight == 0 {
-			// Nothing queued, nothing running, not all done: every
-			// other worker is gone and there is no work to steal.
-			return 0, false
-		}
-		d.cond.Wait()
-	}
-}
-
 // bank records a completed shard exactly once; duplicates are counted
 // and dropped. fromRun marks results produced by this dispatcher's own
 // claim (to balance the inflight counter) versus stray deliveries.
-func (d *dispatcher) bank(id int, parts []sim.Partial, fromRun bool) {
+func (d *dispatcher) bank(key jobKey, jobID int, parts []sim.Partial, fromRun bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	r := d.runs[key.run]
 	if fromRun {
-		d.inflight--
+		r.inflight--
+		delete(d.assigned, jobID)
 	}
-	if id < 0 || id >= len(d.shards) {
-		fmt.Fprintf(d.logw, "shard: dropping result for unknown shard %d\n", id)
+	if key.shard < 0 || key.shard >= len(r.shards) {
+		fmt.Fprintf(d.logw, "shard: dropping result for unknown shard %d of run %d\n", key.shard, key.run)
 		d.cond.Broadcast()
 		return
 	}
-	if _, dup := d.done[id]; dup {
-		d.dups++
-		fmt.Fprintf(d.logw, "shard: dropping duplicate result for shard %d\n", id)
+	if r.finished {
+		// An adaptive run that already bound its stopping boundary no
+		// longer needs this shard (a cancel lost the race).
+		fmt.Fprintf(d.logw, "shard: dropping late result for finished run %d shard %d\n", key.run, key.shard)
 		d.cond.Broadcast()
 		return
 	}
-	r := d.shards[id]
-	if !tilesRange(parts, r.Start, r.End, d.seed, d.mission) {
+	if _, dup := r.done[key.shard]; dup {
+		r.stats.DuplicateResults++
+		fmt.Fprintf(d.logw, "shard: dropping duplicate result for shard %d\n", key.shard)
+		d.cond.Broadcast()
+		return
+	}
+	rg := r.shards[key.shard]
+	if !tilesRange(parts, rg.Start, rg.End, r.spec.Options.Seed, r.spec.Options.MissionTime) {
 		// A malformed result (wrong range, seed, mission time or
 		// observation count) is dropped and the shard recomputed, like
 		// a worker death — up to a cap, beyond which the defect is
 		// clearly deterministic and the run is dead.
-		if d.malformed == nil {
-			d.malformed = make(map[int]int)
+		if r.malformed == nil {
+			r.malformed = make(map[int]int)
 		}
-		d.malformed[id]++
-		d.failures++
-		if d.malformed[id] >= maxMalformedPerShard {
-			d.failLocked(id, fmt.Errorf("shard: shard %d returned %d malformed results; aborting (worker defect?)",
-				id, d.malformed[id]))
+		r.malformed[key.shard]++
+		r.stats.WorkerFailures++
+		if r.malformed[key.shard] >= maxMalformedPerShard {
+			d.failLocked(fmt.Errorf("shard: shard %d returned %d malformed results; aborting (worker defect?)",
+				key.shard, r.malformed[key.shard]))
 			return
 		}
-		fmt.Fprintf(d.logw, "shard: dropping malformed result for shard %d\n", id)
-		if !d.queued(id) {
-			d.queue = append(d.queue, id)
+		fmt.Fprintf(d.logw, "shard: dropping malformed result for shard %d\n", key.shard)
+		if !queued(r.queue, key.shard) {
+			r.queue = append(r.queue, key.shard)
 		}
 		d.cond.Broadcast()
 		return
 	}
-	d.done[id] = parts
-	d.computed++
+	sortParts(parts)
+	r.done[key.shard] = parts
+	r.stats.Computed++
 	// Remove the shard from the queue if a stray delivery beat a
 	// pending reassignment to it.
-	for i := range d.queue {
-		if d.queue[i] == id {
-			d.queue = append(d.queue[:i], d.queue[i+1:]...)
+	for i := range r.queue {
+		if r.queue[i] == key.shard {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
 			break
 		}
 	}
-	if err := d.cp.record(id, parts); err != nil {
-		d.failLocked(id, err)
+	if err := r.cp.record(key.shard, parts); err != nil {
+		d.failLocked(err)
 		return
+	}
+	d.advanceLocked(r)
+	d.cond.Broadcast()
+}
+
+// advanceLocked moves a run's completion state forward after new
+// shards banked: adaptive runs fold the contiguous banked prefix into
+// the stopping scan cell by cell (completion-order merging — partials
+// are folded as soon as the prefix reaches them, not at a barrier) and
+// finish at the first bound boundary; fixed runs finish when every
+// shard banked. Callers hold d.mu.
+func (d *dispatcher) advanceLocked(r *runState) {
+	if r.finished {
+		return
+	}
+	if !r.adaptive {
+		if len(r.done) == len(r.shards) {
+			d.finishLocked(r, r.spec.Options.Iterations)
+		}
+		return
+	}
+	for r.prefixShard < len(r.shards) {
+		parts, ok := r.done[r.prefixShard]
+		if !ok {
+			return
+		}
+		for i := range parts {
+			if r.scan.Feed(&parts[i]) {
+				d.stopLocked(r, r.scan.StopAt())
+				return
+			}
+		}
+		r.prefixShard++
+	}
+	// Every shard banked without the rule binding: the cap is the run.
+	d.finishLocked(r, r.capIters)
+}
+
+// stopLocked ends an adaptive run at the bound stopping boundary:
+// outstanding handout is dropped, in-flight jobs are cancelled
+// (best-effort, asynchronously — their workers stay usable), and the
+// summary covers exactly [0, stopAt). Callers hold d.mu.
+func (d *dispatcher) stopLocked(r *runState, stopAt int) {
+	r.queue = nil
+	r.nextWave = len(r.waves)
+	r.stats.StoppedEarly = true
+	for jid, a := range d.assigned {
+		if a.key.run != r.idx {
+			continue
+		}
+		if c, ok := a.w.(JobCanceler); ok {
+			go c.CancelJob(jid)
+		}
+	}
+	d.finishLocked(r, stopAt)
+}
+
+// finishLocked merges a run's kept iterations into its Summary.
+// Callers hold d.mu.
+func (d *dispatcher) finishLocked(r *runState, stopAt int) {
+	var parts []sim.Partial
+	for id := 0; id < len(r.shards) && r.shards[id].Start < stopAt; id++ {
+		for _, pt := range r.done[id] {
+			if pt.Start < stopAt {
+				parts = append(parts, pt)
+			}
+		}
+	}
+	so := r.spec.Options
+	so.Iterations = stopAt
+	sum, err := sim.Summarize(so, parts)
+	if err != nil {
+		d.failLocked(err)
+		return
+	}
+	r.summary = sum
+	r.finished = true
+	r.wall = time.Since(d.start)
+	// A finished run's partials are dead weight for the rest of the
+	// pipeline — release them so a long sweep's heap stays one point
+	// deep. Every post-finish path is guarded by r.finished before it
+	// touches r.done.
+	r.done = nil
+	d.cond.Broadcast()
+}
+
+// cancelled accounts for a job a worker abandoned on request. The
+// worker stays in the pool.
+func (d *dispatcher) cancelled(key jobKey, jobID int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r := d.runs[key.run]
+	r.inflight--
+	delete(d.assigned, jobID)
+	r.stats.CancelledJobs++
+	if !r.finished {
+		// A cancel that raced a still-running run (should not happen —
+		// cancels are only sent after the run finished — but a shard
+		// must never be silently lost).
+		if _, done := r.done[key.shard]; !done && !queued(r.queue, key.shard) {
+			r.queue = append(r.queue, key.shard)
+		}
 	}
 	d.cond.Broadcast()
 }
 
-// queued reports whether shard id is already in the pending queue.
-// Callers hold d.mu.
-func (d *dispatcher) queued(id int) bool {
-	for _, q := range d.queue {
+// queued reports whether shard id is in the pending queue.
+func queued(queue []int, id int) bool {
+	for _, q := range queue {
 		if q == id {
 			return true
 		}
@@ -335,19 +690,27 @@ func (d *dispatcher) queued(id int) bool {
 
 // bankStray records a result that arrived outside the request/response
 // pairing (a re-delivery or a late answer from a presumed-dead
-// worker).
-func (d *dispatcher) bankStray(id int, parts []sim.Partial) {
-	d.bank(id, parts, false)
+// worker), resolving the job id against every assignment ever issued.
+func (d *dispatcher) bankStray(jobID int, parts []sim.Partial) {
+	d.mu.Lock()
+	key, ok := d.jobIndex[jobID]
+	d.mu.Unlock()
+	if !ok {
+		fmt.Fprintf(d.logw, "shard: dropping stray result for unknown job %d\n", jobID)
+		return
+	}
+	d.bank(key, jobID, parts, false)
 }
 
-func (d *dispatcher) fail(id int, err error) {
+func (d *dispatcher) fail(key jobKey, jobID int, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.inflight--
-	d.failLocked(id, err)
+	d.runs[key.run].inflight--
+	delete(d.assigned, jobID)
+	d.failLocked(err)
 }
 
-func (d *dispatcher) failLocked(id int, err error) {
+func (d *dispatcher) failLocked(err error) {
 	if d.fatal == nil {
 		d.fatal = err
 	}

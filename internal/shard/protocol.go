@@ -1,11 +1,20 @@
-// Package shard distributes a Monte-Carlo availability run across
-// processes and machines. A coordinator partitions the run's iteration
+// Package shard distributes Monte-Carlo availability runs across
+// processes and machines. A coordinator partitions a run's iteration
 // range [0, N) into contiguous shards along the canonical accumulation
 // cells of internal/sim, hands shards to workers — local processes
 // spawned via os/exec, or remote machines attached over TCP — and
 // folds the returned cell partials into a Summary that is bit-identical
 // to a single-process sim.Run, whatever the shard count, worker count
 // or schedule.
+//
+// Beyond single fixed-N runs, the coordinator also executes adaptive
+// (precision-targeted) runs — shards handed out in geometrically
+// growing waves, results merged in completion order, the stopping rule
+// re-checked at every cell boundary of the banked prefix, and
+// outstanding jobs cancelled once it binds (RunPipeline, sim.StopScan)
+// — and pipelines several runs through one shared worker pool so a
+// scenario sweep's next point starts while the previous one drains
+// (RunPipeline, internal/sweep.MonteCarlo).
 //
 // The determinism rests on two contracts from lower layers: every
 // iteration reseeds its RNG stream from (seed, iteration index), so a
@@ -16,11 +25,13 @@
 //
 // Workers speak a newline-delimited JSON protocol (one message object
 // per line): hello for version agreement, job to assign a shard,
-// result/error to answer. Completed shards are appended to a
-// checkpoint log, so a killed coordinator resumes without recomputing
-// them, and shards assigned to a worker that dies are handed to the
-// survivors. See README.md ("Sharded execution") for the full
-// protocol and failure-handling story.
+// result/error to answer, cancel/cancelled to abandon a job whose
+// iterations an adaptive run no longer needs. Completed shards are
+// appended to a checkpoint log, so a killed coordinator resumes
+// without recomputing them, and shards assigned to a worker that dies
+// are handed to the survivors. See README.md ("Sharded execution" and
+// "Adaptive precision") for the full protocol and failure-handling
+// story.
 package shard
 
 import (
@@ -34,8 +45,10 @@ import (
 )
 
 // ProtocolVersion identifies the wire protocol; hello messages carry
-// it and mismatches abort the connection.
-const ProtocolVersion = 1
+// it and mismatches abort the connection. Version 2 added the
+// cancel/cancelled pair adaptive runs use to abandon jobs whose
+// iterations the stopping rule made unnecessary.
+const ProtocolVersion = 2
 
 // Message types.
 const (
@@ -47,6 +60,13 @@ const (
 	MsgResult = "result"
 	// MsgError reports a job-level failure.
 	MsgError = "error"
+	// MsgCancel asks the worker to abandon an in-flight job (sent by
+	// the coordinator once an adaptive run's stopping rule binds). The
+	// worker answers the job with cancelled — or with result/error if
+	// the job had already finished when the cancel arrived.
+	MsgCancel = "cancel"
+	// MsgCancelled acknowledges an abandoned job; no partials follow.
+	MsgCancelled = "cancelled"
 )
 
 // Message is the envelope of every protocol exchange: one JSON object
@@ -57,7 +77,8 @@ type Message struct {
 	Version int `json:"version,omitempty"`
 	// Job accompanies job messages.
 	Job *Job `json:"job,omitempty"`
-	// ID names the shard a result or error answers for.
+	// ID names the job a result, error, cancel or cancelled message
+	// refers to.
 	ID int `json:"id"`
 	// Partials carry a result's per-cell outcomes.
 	Partials []sim.Partial `json:"partials,omitempty"`
@@ -67,13 +88,23 @@ type Message struct {
 
 // Job describes one shard assignment: the iteration range, plus the
 // full simulation configuration so a bare worker process needs no
-// other context.
+// other context. ID is unique per coordinator (a pipelined coordinator
+// multiplexes several runs over one worker pool, so the job id — not
+// the shard index — pairs answers with assignments). Options always
+// describe a fixed range: the coordinator strips the adaptive fields
+// and substitutes the run's iteration cap before dispatch.
 type Job struct {
 	ID      int         `json:"id"`
 	Start   int         `json:"start"`
 	End     int         `json:"end"`
 	Params  WireParams  `json:"params"`
 	Options sim.Options `json:"options"`
+	// Cancellable marks jobs the coordinator may cancel mid-flight
+	// (shards of an adaptive run). Workers execute them concurrently
+	// with the receive loop so a cancel can interrupt; plain jobs run
+	// synchronously, which keeps the fixed-N hot path free of handoff
+	// latency.
+	Cancellable bool `json:"cancellable,omitempty"`
 }
 
 // WireParams is the serializable form of sim.ArrayParams, with every

@@ -6,18 +6,34 @@ import (
 	"io"
 	"net"
 	"runtime"
+	"sync"
 
 	"herald/internal/sim"
 )
 
 // Serve runs the worker side of the shard protocol over a transport:
 // it announces itself with a hello, then answers each job message with
-// a result (the job range's cell partials) or a job-scoped error. It
-// returns nil when the coordinator closes the stream.
+// a result (the job range's cell partials), a job-scoped error, or —
+// when a cancel for the job arrives while it runs — a cancelled
+// acknowledgement. Jobs execute in a goroutine so the receive loop
+// stays responsive to cancels; the coordinator still sends at most one
+// job at a time per connection. Serve returns nil when the coordinator
+// closes the stream.
 func Serve(t Transport) error {
 	if err := t.Send(&Message{Type: MsgHello, Version: ProtocolVersion}); err != nil {
 		return err
 	}
+	var (
+		mu sync.Mutex
+		// stop holds the cancel channel of each running job; cancelled
+		// tombstones cancels that arrived before their job (the
+		// coordinator's cancel send can overtake the job send), so the
+		// job is answered cancelled instead of executed.
+		stop      = make(map[int]chan struct{})
+		cancelled = make(map[int]bool)
+		wg        sync.WaitGroup
+	)
+	defer wg.Wait()
 	for {
 		m, err := t.Recv()
 		if err != nil {
@@ -34,16 +50,46 @@ func Serve(t Transport) error {
 				}
 				continue
 			}
-			parts, jerr := runJob(m.Job)
-			var reply *Message
-			if jerr != nil {
-				reply = &Message{Type: MsgError, ID: m.Job.ID, Error: jerr.Error()}
+			if !m.Job.Cancellable {
+				// Plain jobs answer synchronously on the receive
+				// goroutine: no handoff, no cancellation bookkeeping.
+				if err := t.Send(jobReply(m.Job, nil)); err != nil {
+					return err
+				}
+				continue
+			}
+			st := make(chan struct{})
+			mu.Lock()
+			if cancelled[m.Job.ID] {
+				delete(cancelled, m.Job.ID)
+				mu.Unlock()
+				if err := t.Send(&Message{Type: MsgCancelled, ID: m.Job.ID}); err != nil {
+					return err
+				}
+				continue
+			}
+			stop[m.Job.ID] = st
+			mu.Unlock()
+			wg.Add(1)
+			go func(j *Job) {
+				defer wg.Done()
+				reply := jobReply(j, st)
+				mu.Lock()
+				delete(stop, j.ID)
+				mu.Unlock()
+				// A send failure means the coordinator is gone; the main
+				// Recv loop observes the same condition and exits.
+				_ = t.Send(reply)
+			}(m.Job)
+		case MsgCancel:
+			mu.Lock()
+			if st, ok := stop[m.ID]; ok {
+				close(st)
+				delete(stop, m.ID)
 			} else {
-				reply = &Message{Type: MsgResult, ID: m.Job.ID, Partials: parts}
+				cancelled[m.ID] = true
 			}
-			if err := t.Send(reply); err != nil {
-				return err
-			}
+			mu.Unlock()
 		case MsgHello:
 			// Ignore: transports may echo hellos.
 		default:
@@ -54,13 +100,43 @@ func Serve(t Transport) error {
 	}
 }
 
-// runJob executes one shard assignment in this process.
-func runJob(j *Job) ([]sim.Partial, error) {
+// jobReply executes one job and wraps its outcome as the protocol
+// answer.
+func jobReply(j *Job, stop <-chan struct{}) *Message {
+	parts, jerr := runJob(j, stop)
+	switch {
+	case errors.Is(jerr, sim.ErrStopped):
+		return &Message{Type: MsgCancelled, ID: j.ID}
+	case jerr != nil:
+		return &Message{Type: MsgError, ID: j.ID, Error: jerr.Error()}
+	default:
+		return &Message{Type: MsgResult, ID: j.ID, Partials: parts}
+	}
+}
+
+// runJob executes one shard assignment in this process, streaming
+// cells so a close of stop abandons the remainder (the partials of a
+// cancelled job are discarded: the coordinator only cancels iterations
+// its stopping rule no longer needs). It returns sim.ErrStopped for a
+// cancelled job.
+func runJob(j *Job, stop <-chan struct{}) ([]sim.Partial, error) {
 	p, err := j.Params.Decode()
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunRange(p, j.Options, j.Start, j.End)
+	// Size the buffer to the job's own cells (not the whole run's):
+	// the stream can then complete without a collector goroutine.
+	cs := sim.CellSize(j.Options.Iterations)
+	cells := (j.End - j.Start + cs - 1) / cs
+	out := make(chan sim.Partial, cells)
+	if err := sim.RunRangeStream(p, j.Options, j.Start, j.End, out, stop); err != nil {
+		return nil, err
+	}
+	parts := make([]sim.Partial, 0, cells)
+	for pt := range out {
+		parts = append(parts, pt)
+	}
+	return parts, nil
 }
 
 // ServeStream is Serve over a raw byte stream (a TCP connection or a
@@ -103,11 +179,25 @@ type Worker interface {
 	// Run executes one job, blocking until its result is available. A
 	// returned error means the worker is unusable (its job must be
 	// reassigned); job-scoped failures reported by a live remote
-	// worker surface as *JobError.
+	// worker surface as *JobError, and a job abandoned after CancelJob
+	// as ErrJobCancelled.
 	Run(job *Job) ([]sim.Partial, error)
 	// Close releases the worker's resources.
 	Close() error
 }
+
+// JobCanceler is implemented by workers that can abandon an in-flight
+// job on coordinator request (all workers in this package). Cancel is
+// best-effort and asynchronous: the pending Run returns
+// ErrJobCancelled once the worker acknowledges, or its normal result
+// if the job won the race.
+type JobCanceler interface {
+	CancelJob(id int)
+}
+
+// ErrJobCancelled reports a job abandoned after a CancelJob request.
+// The worker remains usable.
+var ErrJobCancelled = errors.New("shard: job cancelled")
 
 // JobError is a job-scoped failure reported by a live worker: the
 // job's configuration was rejected rather than the worker dying. The
@@ -181,10 +271,21 @@ func (w *remoteWorker) Run(job *Job) ([]sim.Partial, error) {
 			if m.ID == job.ID {
 				return nil, &JobError{ID: m.ID, Msg: m.Error}
 			}
+		case MsgCancelled:
+			if m.ID == job.ID {
+				return nil, ErrJobCancelled
+			}
 		default:
 			return nil, fmt.Errorf("worker %s: unexpected message type %q", w.name, m.Type)
 		}
 	}
+}
+
+// CancelJob asks the remote worker to abandon the job. Send is
+// concurrency-safe, so the cancel can overtake the pending Run's
+// receive loop.
+func (w *remoteWorker) CancelJob(id int) {
+	_ = w.t.Send(&Message{Type: MsgCancel, ID: id})
 }
 
 func (w *remoteWorker) Close() error { return w.t.Close() }
@@ -204,6 +305,12 @@ func Dial(addr string) (Worker, error) {
 type inProcessWorker struct {
 	name    string
 	workers int
+
+	mu sync.Mutex
+	// stop holds running jobs' cancel channels; cancelled tombstones
+	// cancels that raced ahead of their job's Run.
+	stop      map[int]chan struct{}
+	cancelled map[int]bool
 }
 
 // NewInProcessWorker returns a Worker that executes jobs in this
@@ -213,7 +320,12 @@ func NewInProcessWorker(name string, workers int) Worker {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &inProcessWorker{name: name, workers: workers}
+	return &inProcessWorker{
+		name:      name,
+		workers:   workers,
+		stop:      make(map[int]chan struct{}),
+		cancelled: make(map[int]bool),
+	}
 }
 
 func (w *inProcessWorker) Name() string { return w.name }
@@ -221,11 +333,40 @@ func (w *inProcessWorker) Name() string { return w.name }
 func (w *inProcessWorker) Run(job *Job) ([]sim.Partial, error) {
 	j := *job
 	j.Options.Workers = w.workers
-	parts, err := runJob(&j)
+	st := make(chan struct{})
+	w.mu.Lock()
+	if w.cancelled[j.ID] {
+		delete(w.cancelled, j.ID)
+		w.mu.Unlock()
+		return nil, ErrJobCancelled
+	}
+	w.stop[j.ID] = st
+	w.mu.Unlock()
+	parts, err := runJob(&j, st)
+	w.mu.Lock()
+	delete(w.stop, j.ID)
+	w.mu.Unlock()
+	if errors.Is(err, sim.ErrStopped) {
+		return nil, ErrJobCancelled
+	}
 	if err != nil {
 		return nil, &JobError{ID: job.ID, Msg: err.Error()}
 	}
 	return parts, nil
+}
+
+// CancelJob abandons the job with the given id: the in-flight run is
+// stopped, or — when the cancel races ahead of Run — a tombstone makes
+// the upcoming Run return ErrJobCancelled without executing.
+func (w *inProcessWorker) CancelJob(id int) {
+	w.mu.Lock()
+	if st, ok := w.stop[id]; ok {
+		close(st)
+		delete(w.stop, id)
+	} else {
+		w.cancelled[id] = true
+	}
+	w.mu.Unlock()
 }
 
 func (w *inProcessWorker) Close() error { return nil }

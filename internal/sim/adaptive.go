@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+
+	"herald/internal/stats"
+)
+
+// Adaptive (precision-targeted) execution. A fixed-N run answers "what
+// does 1e6 iterations say"; an adaptive run answers the question the
+// paper actually poses — "what is the availability to within this
+// confidence half-width" — by executing the canonical cells of
+// [0, IterationCap()) as a growing prefix and stopping at the first
+// cell boundary where the stopping rule binds.
+//
+// Determinism: the rule is evaluated on the cells folded in canonical
+// index order (never in arrival order), so the boundary it binds at —
+// and therefore the reported Summary — is a pure function of the
+// parameters and options. Workers race ahead of the scanned prefix and
+// their excess cells are discarded, which is why replay determinism is
+// pinned on the iterations actually *kept*: re-running with the same
+// options keeps the same prefix and reproduces the Summary bit for
+// bit, for every worker count, in process or sharded
+// (internal/shard reuses this scan for its wave coordinator).
+
+// StopScan drives an adaptive run's stopping decision. Cell partials
+// are fed strictly in canonical cell order; after each fold the
+// Student-t stopping rule is re-evaluated at the cell's end boundary.
+// The scan is shared by the in-process adaptive driver and the shard
+// coordinator so both stop at the identical boundary.
+type StopScan struct {
+	rule   stats.StopRule
+	floor  int
+	acc    stats.Accumulator
+	events int64
+	end    int
+	stopAt int
+}
+
+// NewStopScan builds the scan for adaptive options. It errors unless
+// the options request an adaptive run.
+func NewStopScan(o Options) (*StopScan, error) {
+	if !o.Adaptive() {
+		return nil, fmt.Errorf("sim: stop scan needs a positive target half-width")
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	conf := o.Confidence
+	if conf == 0 {
+		conf = 0.99
+	}
+	rule := stats.StopRule{TargetHalfWidth: o.TargetHalfWidth, Confidence: conf}
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	floor := 0
+	if o.MaxIters > 0 {
+		// Iterations is the adaptive minimum when MaxIters carries the
+		// cap; the rule may not bind below it.
+		floor = o.Iterations
+	}
+	return &StopScan{rule: rule, floor: floor}, nil
+}
+
+// Feed folds the next canonical cell partial — which must start
+// exactly at End() — and reports whether the stopping rule binds at
+// its end boundary. Once the rule has bound, further feeds fold but
+// never re-bind.
+func (s *StopScan) Feed(pt *Partial) bool {
+	if pt.Start != s.end {
+		panic(fmt.Sprintf("sim: stop scan fed cell [%d,%d), want prefix continuation at %d", pt.Start, pt.End, s.end))
+	}
+	s.acc.Merge(&pt.Avail)
+	s.events += pt.DownIters
+	s.end = pt.End
+	if s.stopAt == 0 && s.end >= s.floor && s.rule.Met(&s.acc, s.events) {
+		s.stopAt = s.end
+		return true
+	}
+	return false
+}
+
+// End returns the contiguous prefix folded so far, in iterations.
+func (s *StopScan) End() int { return s.end }
+
+// StopAt returns the boundary the rule bound at, or 0 while unbound.
+func (s *StopScan) StopAt() int { return s.stopAt }
+
+// EffectiveHalfWidth returns the rule's safeguarded half-width of the
+// folded prefix (+Inf while the safeguards are unmet).
+func (s *StopScan) EffectiveHalfWidth() float64 {
+	return s.rule.EffectiveHalfWidth(&s.acc, s.events)
+}
+
+// runAdaptive executes an adaptive run in this process: cells stream
+// in completion order off RunRangeStream, the scan folds them in index
+// order, and the first bound boundary cancels the outstanding cells.
+func runAdaptive(p ArrayParams, o Options) (Summary, error) {
+	scan, err := NewStopScan(o)
+	if err != nil {
+		return Summary{}, err
+	}
+	capIters := o.IterationCap()
+	oo := o
+	oo.Iterations = capIters
+
+	// Validation failures surface through the stream: it closes out
+	// immediately and the error returns below.
+	out := make(chan Partial, len(Cells(capIters)))
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- RunRangeStream(p, oo, 0, capIters, out, stop) }()
+
+	// Cells arrive in completion order; pending parks the out-of-order
+	// ones until the prefix reaches them.
+	pending := make(map[int]Partial)
+	var kept []Partial
+	stopAt := 0
+	for pt := range out {
+		if stopAt != 0 {
+			continue // draining after the rule bound
+		}
+		pending[pt.Start] = pt
+		for {
+			next, ok := pending[scan.End()]
+			if !ok {
+				break
+			}
+			delete(pending, next.Start)
+			met := scan.Feed(&next)
+			kept = append(kept, next)
+			if met {
+				stopAt = scan.StopAt()
+				close(stop)
+				break
+			}
+		}
+	}
+	streamErr := <-errc
+	if stopAt == 0 {
+		if streamErr != nil {
+			return Summary{}, streamErr
+		}
+		stopAt = capIters
+	} else if streamErr != nil && streamErr != ErrStopped {
+		// ErrStopped is the stream acknowledging the cancellation; any
+		// other error is real.
+		return Summary{}, streamErr
+	}
+
+	so := o
+	so.Iterations = stopAt
+	return Summarize(so, kept)
+}

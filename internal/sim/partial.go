@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -90,6 +91,12 @@ type Partial struct {
 	Avail  stats.Accumulator `json:"avail"`
 	DownDU stats.Accumulator `json:"down_du"`
 	DownDL stats.Accumulator `json:"down_dl"`
+	// DownIters counts the iterations of the range with nonzero
+	// downtime — the informative observations of the heavily
+	// zero-inflated availability stream. The adaptive stopping rule's
+	// Student-t safeguard (stats.StopRule) takes its effective sample
+	// size from this count.
+	DownIters int64 `json:"down_iters,omitempty"`
 	// Events is the incident census of the range.
 	Events EventCounts `json:"events"`
 	// Hist is the per-iteration downtime histogram when
@@ -122,12 +129,101 @@ func (sc *scratch) runCell(c Range, opts Options, histMax float64) Partial {
 		pt.Avail.Add(1 - down/opts.MissionTime)
 		pt.DownDU.Add(is.downDU)
 		pt.DownDL.Add(is.downDL)
+		if down > 0 {
+			pt.DownIters++
+		}
 		pt.Events.Merge(is.events)
 		if pt.Hist != nil {
 			pt.Hist.Add(down)
 		}
 	}
 	return pt
+}
+
+// prepareRange validates a range execution and returns the resolved
+// options and the canonical cells of [start, end).
+func prepareRange(p *ArrayParams, o *Options, start, end int) (Options, []Range, error) {
+	if err := p.Validate(); err != nil {
+		return Options{}, nil, err
+	}
+	if err := o.Validate(); err != nil {
+		return Options{}, nil, err
+	}
+	if start < 0 || end > o.Iterations || start >= end {
+		return Options{}, nil, fmt.Errorf("sim: range [%d,%d) outside run [0,%d)", start, end, o.Iterations)
+	}
+	cs := CellSize(o.Iterations)
+	if start%cs != 0 || (end%cs != 0 && end != o.Iterations) {
+		return Options{}, nil, fmt.Errorf("sim: range [%d,%d) not aligned to the %d-iteration cells of a %d-iteration run",
+			start, end, cs, o.Iterations)
+	}
+	// Resolve the kernel once, up front: a forced-but-impossible
+	// specialization fails the run here rather than inside a worker.
+	if _, _, err := resolveKernel(p, o.Kernel); err != nil {
+		return Options{}, nil, err
+	}
+	return o.withDefaults(), cellsIn(o.Iterations, start, end), nil
+}
+
+// ErrStopped is returned by RunRangeStream when the stop channel
+// closed before every cell of the range was delivered.
+var ErrStopped = errors.New("sim: run stopped before completing its range")
+
+// RunRangeStream executes the iterations of [start, end) like RunRange
+// but delivers each cell's Partial on out as soon as its cell
+// completes — in completion order, not index order — so a consumer can
+// merge and act on partials while later cells still run. The adaptive
+// runs are built on this: the stopping rule is re-checked as partials
+// land instead of waiting on a barrier merge.
+//
+// out is closed before RunRangeStream returns. A close of stop (nil
+// for non-cancellable runs) abandons cells not yet started and
+// undelivered results; RunRangeStream then returns ErrStopped. Cell
+// contents are identical to RunRange's — only the delivery order
+// varies with the schedule.
+func RunRangeStream(p ArrayParams, o Options, start, end int, out chan<- Partial, stop <-chan struct{}) error {
+	defer close(out)
+	opts, cells, err := prepareRange(&p, &o, start, end)
+	if err != nil {
+		return err
+	}
+	histMax := histMaxFor(opts)
+	workers := opts.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var next, delivered atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newScratch(&p, opts.Kernel)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ci := int(next.Add(1)) - 1
+				if ci >= len(cells) {
+					return
+				}
+				pt := sc.runCell(cells[ci], opts, histMax)
+				select {
+				case out <- pt:
+					delivered.Add(1)
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if int(delivered.Load()) != len(cells) {
+		return ErrStopped
+	}
+	return nil
 }
 
 // RunRange executes the iterations of [start, end) and returns one
@@ -137,29 +233,16 @@ func (sc *scratch) runCell(c Range, opts Options, histMax float64) Partial {
 // parallel across Options.Workers goroutines, but each cell is
 // accumulated sequentially, so the returned partials do not depend on
 // the schedule.
+//
+// The cell contents are identical to RunRangeStream's; RunRange keeps
+// its own indexed assembly (no channel) so the barrier path stays as
+// cheap as it was before streaming existed.
 func RunRange(p ArrayParams, o Options, start, end int) ([]Partial, error) {
-	if err := p.Validate(); err != nil {
+	opts, cells, err := prepareRange(&p, &o, start, end)
+	if err != nil {
 		return nil, err
 	}
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	if start < 0 || end > o.Iterations || start >= end {
-		return nil, fmt.Errorf("sim: range [%d,%d) outside run [0,%d)", start, end, o.Iterations)
-	}
-	cs := CellSize(o.Iterations)
-	if start%cs != 0 || (end%cs != 0 && end != o.Iterations) {
-		return nil, fmt.Errorf("sim: range [%d,%d) not aligned to the %d-iteration cells of a %d-iteration run",
-			start, end, cs, o.Iterations)
-	}
-	// Resolve the kernel once, up front: a forced-but-impossible
-	// specialization fails the run here rather than inside a worker.
-	if _, _, err := resolveKernel(&p, o.Kernel); err != nil {
-		return nil, err
-	}
-	opts := o.withDefaults()
 	histMax := histMaxFor(opts)
-	cells := cellsIn(opts.Iterations, start, end)
 	parts := make([]Partial, len(cells))
 	workers := opts.Workers
 	if workers > len(cells) {
@@ -211,6 +294,7 @@ func Summarize(o Options, parts []Partial) (Summary, error) {
 
 	var acc, du, dl stats.Accumulator
 	var events EventCounts
+	var downIters int64
 	var hist *stats.Histogram
 	cursor := 0
 	for i := range sorted {
@@ -240,6 +324,7 @@ func Summarize(o Options, parts []Partial) (Summary, error) {
 		acc.Merge(&pt.Avail)
 		du.Merge(&pt.DownDU)
 		dl.Merge(&pt.DownDL)
+		downIters += pt.DownIters
 		events.Merge(pt.Events)
 		if pt.Hist != nil {
 			if hist == nil {
@@ -261,6 +346,17 @@ func Summarize(o Options, parts []Partial) (Summary, error) {
 	}
 
 	avail := acc.Mean()
+	// Converged is the stopping rule's own verdict — with its
+	// effective-N safeguards — not a raw half-width comparison: a
+	// zero-variance or event-starved stream reports half-width 0 but
+	// must never be certified as converged (the fold here reproduces
+	// the StopScan accumulator bit for bit, so the verdict matches the
+	// scan's at the stopping boundary).
+	converged := false
+	if opts.TargetHalfWidth > 0 {
+		rule := stats.StopRule{TargetHalfWidth: opts.TargetHalfWidth, Confidence: opts.Confidence}
+		converged = rule.Met(&acc, downIters)
+	}
 	return Summary{
 		Availability:      avail,
 		HalfWidth:         acc.HalfWidth(opts.Confidence),
@@ -270,6 +366,8 @@ func Summarize(o Options, parts []Partial) (Summary, error) {
 		Iterations:        opts.Iterations,
 		MissionTime:       opts.MissionTime,
 		Confidence:        opts.Confidence,
+		TargetHalfWidth:   opts.TargetHalfWidth,
+		Converged:         converged,
 		Events:            events,
 		DowntimeHistogram: hist,
 	}, nil

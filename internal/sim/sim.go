@@ -251,6 +251,37 @@ type Options struct {
 	HistogramMaxHours float64
 	// Kernel selects the walker specialization (default KernelAuto).
 	Kernel Kernel
+	// TargetHalfWidth, when positive, makes the run adaptive
+	// (precision-targeted): instead of executing a preset count, the
+	// run grows the executed iteration prefix and stops at the first
+	// canonical cell boundary where the sequential stopping rule
+	// (stats.StopRule at Confidence, with its Student-t effective-N
+	// safeguards) certifies the availability CI half-width at or below
+	// this value. Iterations then bounds the run: it is the iteration
+	// cap when MaxIters is zero, and the minimum executed iterations
+	// when MaxIters is set. The reported Summary covers exactly the
+	// iterations kept — see Summary.Iterations and Summary.Converged.
+	TargetHalfWidth float64
+	// MaxIters caps an adaptive run's executed iterations when
+	// positive; it requires TargetHalfWidth and must be at least
+	// Iterations (which becomes the minimum executed before the rule
+	// may bind). Zero means Iterations is the cap.
+	MaxIters int
+}
+
+// Adaptive reports whether the options request a precision-targeted
+// (sequentially stopped) run.
+func (o *Options) Adaptive() bool { return o.TargetHalfWidth > 0 }
+
+// IterationCap returns the planned iteration ceiling of the run:
+// MaxIters for adaptive runs that set it, Iterations otherwise. The
+// canonical cell decomposition of an adaptive run is taken over the
+// cap, so the executed prefix is always cell-aligned.
+func (o *Options) IterationCap() int {
+	if o.MaxIters > 0 {
+		return o.MaxIters
+	}
+	return o.Iterations
 }
 
 func (o *Options) withDefaults() Options {
@@ -277,6 +308,20 @@ func (o *Options) Validate() error {
 	}
 	if o.Kernel != KernelAuto && o.Kernel != KernelGeneric && o.Kernel != KernelMemoryless {
 		return fmt.Errorf("sim: unknown kernel %d", int(o.Kernel))
+	}
+	if o.TargetHalfWidth < 0 || math.IsNaN(o.TargetHalfWidth) || math.IsInf(o.TargetHalfWidth, 0) {
+		return fmt.Errorf("sim: target half-width %v must be zero (fixed-N) or positive and finite", o.TargetHalfWidth)
+	}
+	if o.MaxIters < 0 {
+		return fmt.Errorf("sim: max iterations %d must be non-negative", o.MaxIters)
+	}
+	if o.MaxIters > 0 {
+		if o.TargetHalfWidth == 0 {
+			return fmt.Errorf("sim: MaxIters %d set without TargetHalfWidth (fixed-N runs bound via Iterations)", o.MaxIters)
+		}
+		if o.MaxIters < o.Iterations {
+			return fmt.Errorf("sim: MaxIters %d below the Iterations minimum %d", o.MaxIters, o.Iterations)
+		}
 	}
 	return nil
 }
@@ -317,11 +362,22 @@ type Summary struct {
 	// spent unavailable due to human error (DU) and data loss (DL).
 	MeanDowntimeDU float64
 	MeanDowntimeDL float64
-	// Iterations and MissionTime echo the run configuration.
+	// Iterations is the iteration count the summary covers. For
+	// adaptive runs this is the count actually kept — the cell boundary
+	// the stopping rule bound at, or the cap when it never bound.
 	Iterations  int
 	MissionTime float64
 	// Confidence echoes the CI level.
 	Confidence float64
+	// TargetHalfWidth echoes the adaptive precision target; zero for
+	// fixed-N runs.
+	TargetHalfWidth float64
+	// Converged reports the stopping rule's verdict on the kept
+	// iterations: target reached with the rule's effective-N
+	// safeguards satisfied. A zero-variance or event-starved run that
+	// went to its cap reports false even though its raw half-width is
+	// 0. Always false for fixed-N runs.
+	Converged bool
 	// Events aggregates incident counts.
 	Events EventCounts
 	// DowntimeHistogram is the per-iteration total-downtime histogram
@@ -353,9 +409,18 @@ type iterStats struct {
 // bit-identical for every worker count — and identical to a sharded
 // run (internal/shard) that partitions the same cells across
 // processes or machines.
+// Adaptive runs (Options.TargetHalfWidth > 0) instead grow the
+// executed prefix of [0, IterationCap()) and stop at the first cell
+// boundary where the stopping rule binds; see runAdaptive. The
+// decomposition over the cap keeps the same schedule-independence: an
+// adaptive Summary is bit-identical for every worker count, and
+// identical to an adaptive sharded run with the same options.
 func Run(p ArrayParams, o Options) (Summary, error) {
 	if o.Iterations < 1 {
 		return Summary{}, fmt.Errorf("sim: iterations %d must be positive", o.Iterations)
+	}
+	if o.Adaptive() {
+		return runAdaptive(p, o)
 	}
 	parts, err := RunRange(p, o, 0, o.Iterations)
 	if err != nil {

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sequential (precision-targeted) sampling. The paper's headline
+// numbers are Monte-Carlo availability estimates quoted with 99%
+// confidence intervals, so the natural stopping criterion is the
+// interval itself: keep simulating until the Student-t half-width of
+// the running mean reaches a requested precision, instead of running a
+// preset iteration count. StopRule packages that criterion together
+// with the safeguards sequential looks need.
+
+// Default safeguards of StopRule; see the field docs.
+const (
+	// DefaultStopMinN is the minimum observation count before the rule
+	// may bind.
+	DefaultStopMinN = 256
+	// DefaultStopMinEvents is the minimum informative-observation count
+	// before the rule may bind.
+	DefaultStopMinEvents = 16
+)
+
+// StopRule is the stopping criterion of a precision-targeted run:
+// stop when the Student-t confidence half-width of the accumulated
+// mean is at or below TargetHalfWidth.
+//
+// Availability samples are extremely zero-inflated — at paper-scale
+// parameters the overwhelming majority of simulated lifetimes see no
+// downtime at all and contribute the observation 1.0 exactly — so the
+// raw observation count wildly overstates how much information the
+// stream carries. Two safeguards keep early looks from binding on
+// noise:
+//
+//   - the rule never fires before MinN observations and MinEvents
+//     informative observations (iterations that saw any downtime), and
+//     never on a zero-variance stream;
+//   - the Student-t quantile is taken at the *effective* degrees of
+//     freedom min(n-1, events): when the stream is event-limited, the
+//     wider small-sample quantile applies, exactly as if the events
+//     themselves were the sample.
+//
+// Because the effective quantile is at least as wide as the reporting
+// quantile (which uses n-1 degrees of freedom), a met rule implies the
+// reported half-width is also at or below the target.
+//
+// Sequential looks make any stopped interval slightly anticonservative
+// (the stopping time is data-dependent); the safeguards bound, but do
+// not remove, that effect.
+type StopRule struct {
+	// TargetHalfWidth is the requested confidence half-width; it must
+	// be positive and finite.
+	TargetHalfWidth float64
+	// Confidence is the CI level the half-width is computed at
+	// (default 0.99, the paper's choice).
+	Confidence float64
+	// MinN floors the observation count (default DefaultStopMinN).
+	MinN int64
+	// MinEvents floors the informative-observation count
+	// (default DefaultStopMinEvents).
+	MinEvents int64
+}
+
+// Validate checks the rule's parameters.
+func (r StopRule) Validate() error {
+	if !(r.TargetHalfWidth > 0) || math.IsInf(r.TargetHalfWidth, 0) {
+		return fmt.Errorf("stats: target half-width %v must be positive and finite", r.TargetHalfWidth)
+	}
+	if r.Confidence < 0 || r.Confidence >= 1 {
+		return fmt.Errorf("stats: confidence %v outside [0,1)", r.Confidence)
+	}
+	if r.MinN < 0 || r.MinEvents < 0 {
+		return fmt.Errorf("stats: negative stop-rule floors (MinN %d, MinEvents %d)", r.MinN, r.MinEvents)
+	}
+	return nil
+}
+
+func (r StopRule) confidence() float64 {
+	if r.Confidence == 0 {
+		return 0.99
+	}
+	return r.Confidence
+}
+
+func (r StopRule) minN() int64 {
+	if r.MinN == 0 {
+		return DefaultStopMinN
+	}
+	return r.MinN
+}
+
+func (r StopRule) minEvents() int64 {
+	if r.MinEvents == 0 {
+		return DefaultStopMinEvents
+	}
+	return r.MinEvents
+}
+
+// EffectiveHalfWidth returns the safeguarded half-width the rule
+// compares against the target: the Student-t quantile at
+// min(n-1, events) degrees of freedom times the standard error.
+// It returns +Inf while either floor is unmet or the variance is zero,
+// so the value is directly comparable ("not yet enough information"
+// sorts above every target).
+func (r StopRule) EffectiveHalfWidth(a *Accumulator, events int64) float64 {
+	n := a.N()
+	if n < r.minN() || events < r.minEvents() || a.Variance() == 0 {
+		return math.Inf(1)
+	}
+	df := n - 1
+	if events < df {
+		df = events
+	}
+	tcrit := StudentTQuantile(float64(df), 0.5+r.confidence()/2)
+	return tcrit * a.StdErr()
+}
+
+// Met reports whether the rule binds for the accumulated stream:
+// both floors reached and the effective half-width at or below the
+// target. events is the number of informative observations folded into
+// a (for availability streams, iterations with nonzero downtime).
+func (r StopRule) Met(a *Accumulator, events int64) bool {
+	return r.EffectiveHalfWidth(a, events) <= r.TargetHalfWidth
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// accOf builds an accumulator from explicit observations.
+func accOf(xs ...float64) *Accumulator {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return &a
+}
+
+// synthAcc builds a zero-inflated stream: n observations of which
+// events carry the value lo (the rest are 1.0), mimicking availability
+// samples where most lifetimes see no downtime.
+func synthAcc(n, events int64, lo float64) *Accumulator {
+	var a Accumulator
+	for i := int64(0); i < n; i++ {
+		if i < events {
+			a.Add(lo)
+		} else {
+			a.Add(1)
+		}
+	}
+	return &a
+}
+
+func TestStopRuleValidate(t *testing.T) {
+	good := StopRule{TargetHalfWidth: 1e-6}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+	for _, r := range []StopRule{
+		{TargetHalfWidth: 0},
+		{TargetHalfWidth: -1},
+		{TargetHalfWidth: math.Inf(1)},
+		{TargetHalfWidth: math.NaN()},
+		{TargetHalfWidth: 1e-6, Confidence: 1},
+		{TargetHalfWidth: 1e-6, Confidence: -0.5},
+		{TargetHalfWidth: 1e-6, MinN: -1},
+		{TargetHalfWidth: 1e-6, MinEvents: -2},
+	} {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rule %+v accepted", r)
+		}
+	}
+}
+
+// TestStopRuleFloors pins that the rule never binds before its MinN /
+// MinEvents floors, however tight the stream looks.
+func TestStopRuleFloors(t *testing.T) {
+	r := StopRule{TargetHalfWidth: 1, MinN: 100, MinEvents: 10}
+	if r.Met(synthAcc(50, 20, 0.5), 20) {
+		t.Error("rule bound below MinN")
+	}
+	if r.Met(synthAcc(200, 5, 0.5), 5) {
+		t.Error("rule bound below MinEvents")
+	}
+	if !r.Met(synthAcc(200, 20, 0.5), 20) {
+		t.Error("rule did not bind with both floors met and a huge target")
+	}
+}
+
+// TestStopRuleZeroVariance pins the degenerate-stream guard: a stream
+// of identical observations has half-width 0 but carries no
+// information about the tail, so the rule must not bind.
+func TestStopRuleZeroVariance(t *testing.T) {
+	r := StopRule{TargetHalfWidth: 1e-3, MinN: 4, MinEvents: 1}
+	var a Accumulator
+	for i := 0; i < 1000; i++ {
+		a.Add(1)
+	}
+	// events reported nonzero on purpose: the variance guard alone must
+	// refuse.
+	if r.Met(&a, 50) {
+		t.Error("rule bound on a zero-variance stream")
+	}
+	if !math.IsInf(r.EffectiveHalfWidth(&a, 50), 1) {
+		t.Error("effective half-width of a zero-variance stream is not +Inf")
+	}
+}
+
+// TestStopRuleEffectiveDF pins the Student-t safeguard: with few
+// informative observations the rule uses the wider quantile at
+// df = events, so an event-starved stream needs a larger margin than
+// the n-1 reporting quantile suggests.
+func TestStopRuleEffectiveDF(t *testing.T) {
+	r := StopRule{TargetHalfWidth: 1e-9, Confidence: 0.99, MinN: 16, MinEvents: 2}
+	a := synthAcc(10000, 3, 0.9)
+	events := int64(3)
+
+	eff := r.EffectiveHalfWidth(a, events)
+	reported := a.HalfWidth(0.99)
+	if !(eff > reported) {
+		t.Errorf("effective half-width %g not wider than reported %g with 3 events over 10000 obs", eff, reported)
+	}
+	// The widening is exactly the quantile ratio t_df=3 / t_df=9999.
+	want := reported * StudentTQuantile(3, 0.995) / StudentTQuantile(9999, 0.995)
+	if math.Abs(eff-want) > 1e-12*math.Abs(want) {
+		t.Errorf("effective half-width %g, want %g", eff, want)
+	}
+
+	// With events >= n-1 the two quantiles agree (df = n-1 in both).
+	b := synthAcc(10000, 9999, 0.9)
+	if got := r.EffectiveHalfWidth(b, 9999); math.Abs(got-b.HalfWidth(0.99)) > 1e-12*got {
+		t.Errorf("event-rich stream widened: eff %g, reported %g", got, b.HalfWidth(0.99))
+	}
+}
+
+// TestStopRuleMetImpliesReported pins the a-fortiori property the
+// adaptive runs rely on: a met rule implies the *reported* (df = n-1)
+// half-width is also at or below the target.
+func TestStopRuleMetImpliesReported(t *testing.T) {
+	r := StopRule{TargetHalfWidth: 0.02, MinN: 32, MinEvents: 4}
+	for events := int64(4); events <= 4096; events *= 4 {
+		a := synthAcc(8192, events, 0.8)
+		if r.Met(a, events) && a.HalfWidth(r.confidence()) > r.TargetHalfWidth {
+			t.Errorf("events=%d: rule met but reported half-width %g above target %g",
+				events, a.HalfWidth(r.confidence()), r.TargetHalfWidth)
+		}
+	}
+}
+
+// TestStopRuleDefaults pins the zero-value safeguards.
+func TestStopRuleDefaults(t *testing.T) {
+	r := StopRule{TargetHalfWidth: 10}
+	a := synthAcc(DefaultStopMinN-1, DefaultStopMinEvents, 0.5)
+	if r.Met(a, DefaultStopMinEvents) {
+		t.Error("rule bound below the default MinN")
+	}
+	b := synthAcc(DefaultStopMinN, DefaultStopMinEvents-1, 0.5)
+	if r.Met(b, DefaultStopMinEvents-1) {
+		t.Error("rule bound below the default MinEvents")
+	}
+	c := synthAcc(DefaultStopMinN, DefaultStopMinEvents, 0.5)
+	if !r.Met(c, DefaultStopMinEvents) {
+		t.Error("rule did not bind at the default floors with a huge target")
+	}
+	if r.confidence() != 0.99 {
+		t.Errorf("default confidence %v, want 0.99", r.confidence())
+	}
+}
