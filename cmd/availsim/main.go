@@ -22,12 +22,18 @@
 // "Sharded execution"): -shards partitions the iteration range,
 // -workers sets the local worker-process count, -checkpoint makes the
 // run resumable, -shard-serve turns this host into a TCP worker that
-// -shard-connect attaches:
+// -shard-connect attaches. Alternatively the coordinator opens a
+// registration port with -shard-listen and worker boxes dial in with
+// -shard-join, joining (and leaving) while the run executes. Both
+// modes authenticate with -shard-token and encrypt with the
+// -shard-tls-* flags:
 //
 //	availsim -iters 1000000 -shards 16 -workers 8
 //	availsim -iters 1000000 -shards 32 -checkpoint run.ckpt
 //	availsim -shard-serve :9009                   # on a worker box
 //	availsim -iters 1000000 -shards 32 -shard-connect box1:9009,box2:9009
+//	availsim -iters 1000000 -shards 32 -shard-listen :9009 -shard-token s3cret
+//	availsim -shard-join coord:9009 -shard-token s3cret   # on each worker box
 //
 // Adaptive (precision-targeted) runs stop at a requested CI half-width
 // instead of a preset count (README.md "Adaptive precision"); -iters
@@ -45,6 +51,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"herald/internal/dist"
 	"herald/internal/report"
@@ -183,6 +190,15 @@ func main() {
 		checkpoint   = flag.String("checkpoint", "", "checkpoint log path: completed shards are recorded and a rerun resumes from them (implies sharded execution)")
 		shardConnect = flag.String("shard-connect", "", "comma-separated host:port list of remote TCP workers (availsim -shard-serve) to attach")
 		shardServe   = flag.String("shard-serve", "", "run as a TCP shard worker on this address instead of simulating")
+
+		shardJoin      = flag.String("shard-join", "", "join a coordinator (availsim -shard-listen) as a shard worker instead of simulating")
+		shardCapacity  = flag.Int("shard-capacity", 0, "job parallelism advertised when joining via -shard-join (0 = all local cores)")
+		shardListen    = flag.String("shard-listen", "", "accept shard workers joining via -shard-join on this address for the run (implies sharded execution)")
+		shardToken     = flag.String("shard-token", "", "shared secret authenticating shard connections; both ends must agree (HMAC handshake, the token never crosses the wire)")
+		shardTLSCert   = flag.String("shard-tls-cert", "", "PEM certificate enabling TLS on listening shard sockets (-shard-serve, -shard-listen; with -shard-tls-key); on dialing sides, the client certificate for mutual TLS")
+		shardTLSKey    = flag.String("shard-tls-key", "", "PEM private key paired with -shard-tls-cert")
+		shardTLSCA     = flag.String("shard-tls-ca", "", "PEM CA bundle: dialing sides verify the server against it (enables TLS on -shard-connect/-shard-join); listening sides additionally require client certificates chained to it (mutual TLS)")
+		shardHeartbeat = flag.Duration("shard-heartbeat", 0, "shard liveness heartbeat interval; a peer silent for 4 intervals is declared dead and its work reassigned (0 = 3s)")
 	)
 	flag.StringVar(&ttf.family, "dist", "exp", "time-to-failure law: "+distFamilies)
 	flag.Float64Var(&ttf.shape, "shape", 1.2, "TTF shape (weibull, gamma)")
@@ -198,12 +214,26 @@ func main() {
 	flag.StringVar(&rep.hyperR, "repair-hyper-rates", "", "service branch rates 1/h (hyperexp)")
 	flag.Parse()
 
+	clientNC, serverNC, err := shardNetConfigs(*shardToken, *shardTLSCert, *shardTLSKey, *shardTLSCA, *shardHeartbeat)
+	exitOn(err)
+
 	if *shardServe != "" {
-		err := shard.ListenAndServe(*shardServe, func(a net.Addr) {
+		err := shard.ListenAndServeNet(*shardServe, serverNC, func(a net.Addr) {
 			fmt.Fprintf(os.Stderr, "availsim: serving shard jobs on %s\n", a)
 		})
 		exitOn(err)
 		return
+	}
+	if *shardJoin != "" {
+		fmt.Fprintf(os.Stderr, "availsim: joining shard coordinator %s\n", *shardJoin)
+		exitOn(shard.Join(*shardJoin, *shardCapacity, clientNC))
+		return
+	}
+
+	// Out-of-range confidence levels used to reach the Student-t
+	// quantile deep inside a run; reject them at the flag boundary.
+	if !(*confidence > 0 && *confidence < 1) {
+		exitOn(fmt.Errorf("-confidence must be inside (0,1), got %v", *confidence))
 	}
 
 	// The distribution constructors treat non-positive rates as
@@ -231,7 +261,6 @@ func main() {
 		SpareRebuild:    dist.NewExponential(*muS),
 		SpareSwap:       dist.NewExponential(*muCH),
 	}
-	var err error
 	if p.TTF, err = ttf.build(*lambda); err != nil {
 		exitOn(err)
 	}
@@ -275,8 +304,8 @@ func main() {
 		exitOn(err)
 	}
 	var s sim.Summary
-	if *shards > 1 || *shardConnect != "" || *checkpoint != "" {
-		s, err = runSharded(p, o, *shards, *workers, *checkpoint, *shardConnect)
+	if *shards > 1 || *shardConnect != "" || *checkpoint != "" || *shardListen != "" {
+		s, err = runSharded(p, o, *shards, *workers, *checkpoint, *shardConnect, *shardListen, clientNC, serverNC)
 	} else {
 		s, err = sim.Run(p, o)
 	}
@@ -311,9 +340,10 @@ func main() {
 }
 
 // runSharded executes the run through the shard coordinator: remote
-// TCP workers from -shard-connect plus nlocal local worker processes
-// (0 = GOMAXPROCS; with remote workers attached, 0 means remote-only).
-func runSharded(p sim.ArrayParams, o sim.Options, shards, nlocal int, checkpoint, connect string) (sim.Summary, error) {
+// TCP workers from -shard-connect, workers joining via -shard-listen,
+// plus nlocal local worker processes (0 = GOMAXPROCS; with remote or
+// joining workers, 0 means no local processes).
+func runSharded(p sim.ArrayParams, o sim.Options, shards, nlocal int, checkpoint, connect, listen string, clientNC, serverNC shard.NetConfig) (sim.Summary, error) {
 	var workers []shard.Worker
 	closeAll := func() {
 		for _, w := range workers {
@@ -326,7 +356,7 @@ func runSharded(p sim.ArrayParams, o sim.Options, shards, nlocal int, checkpoint
 			if addr == "" {
 				continue
 			}
-			w, err := shard.Dial(addr)
+			w, err := shard.DialNet(addr, clientNC)
 			if err != nil {
 				closeAll()
 				return sim.Summary{}, err
@@ -334,7 +364,7 @@ func runSharded(p sim.ArrayParams, o sim.Options, shards, nlocal int, checkpoint
 			workers = append(workers, w)
 		}
 	}
-	if nlocal > 0 || len(workers) == 0 {
+	if nlocal > 0 || (len(workers) == 0 && listen == "") {
 		local, err := shard.SpawnLocal(nlocal)
 		if err != nil {
 			closeAll()
@@ -343,14 +373,47 @@ func runSharded(p sim.ArrayParams, o sim.Options, shards, nlocal int, checkpoint
 		workers = append(workers, local...)
 	}
 	defer closeAll()
-	return shard.Run(shard.Config{
+	cfg := shard.Config{
 		Params:     p,
 		Options:    o,
 		Shards:     shards,
 		Workers:    workers,
 		Checkpoint: checkpoint,
 		Log:        os.Stderr,
-	})
+	}
+	if listen != "" {
+		ln, source, err := shard.ListenWorkers(listen, serverNC, os.Stderr)
+		if err != nil {
+			return sim.Summary{}, err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "availsim: accepting shard workers on %s\n", ln.Addr())
+		cfg.WorkerSource = source
+	}
+	return shard.Run(cfg)
+}
+
+// shardNetConfigs resolves the -shard-* transport flags into the
+// dialing-side and listening-side network configurations. TLS turns on
+// for listeners when a certificate pair is given, and for dialers when
+// a CA bundle is given (the pair then doubles as the client
+// certificate for mutual TLS).
+func shardNetConfigs(token, cert, key, ca string, heartbeat time.Duration) (client, server shard.NetConfig, err error) {
+	client = shard.NetConfig{Token: token, HeartbeatInterval: heartbeat}
+	server = client
+	if cert != "" || key != "" {
+		server.TLS, err = shard.ServerTLS(cert, key, ca)
+		if err != nil {
+			return client, server, err
+		}
+	}
+	if ca != "" {
+		client.TLS, err = shard.ClientTLS(ca, "", cert, key)
+		if err != nil {
+			return client, server, err
+		}
+	}
+	return client, server, nil
 }
 
 func exitOn(err error) {

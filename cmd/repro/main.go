@@ -32,10 +32,19 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); with -full, the worker-process count")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		full     = flag.Bool("full", false, "run the paper-scale sweep (policies x HEP at 1e6 iterations/point) pipelined across all cores")
-		targetHW = flag.Float64("target-halfwidth", 0, "with -full: stop each point at this CI half-width instead of the full iteration count (adaptive sequential sampling; -iters becomes the cap)")
-		undoLaws = flag.Bool("undo-laws", false, "shorthand for -fig undo-laws: compare hyper-exponential / lognormal human-error undo latencies against the paper's exponential assumption")
+		targetHW   = flag.Float64("target-halfwidth", 0, "with -full: stop each point at this CI half-width instead of the full iteration count (adaptive sequential sampling; -iters becomes the cap)")
+		undoLaws   = flag.Bool("undo-laws", false, "shorthand for -fig undo-laws: compare hyper-exponential / lognormal human-error undo latencies against the paper's exponential assumption")
+		confidence = flag.Float64("confidence", 0, "confidence level for the intervals (0 = default 0.99 as in the paper)")
 	)
 	flag.Parse()
+
+	// Validated here rather than deep inside a figure run: an
+	// out-of-range level (including NaN) otherwise only surfaces after
+	// the Monte-Carlo work is already done.
+	if *confidence != 0 && !(*confidence > 0 && *confidence < 1) {
+		fmt.Fprintf(os.Stderr, "repro: -confidence must be inside (0,1), got %v\n", *confidence)
+		os.Exit(1)
+	}
 
 	o := repro.Options{
 		MCIterations:    *iters,
@@ -43,6 +52,7 @@ func main() {
 		Seed:            *seed,
 		Workers:         *workers,
 		TargetHalfWidth: *targetHW,
+		Confidence:      *confidence,
 	}
 
 	if *targetHW != 0 && !*full {

@@ -31,6 +31,7 @@ package herald
 
 import (
 	"io"
+	"net"
 
 	"herald/internal/dist"
 	"herald/internal/model"
@@ -215,13 +216,47 @@ func SimulateSharded(p SimParams, o SimOptions, shards, workerProcs int, checkpo
 // workers via DialShardWorker, mixed pools, checkpoint logs).
 func ShardedRun(cfg ShardConfig) (SimSummary, error) { return shard.Run(cfg) }
 
+// ShardNetConfig tunes the TCP transport of the shard protocol:
+// shared-token authentication, TLS, connect/handshake timeouts, and
+// the heartbeat cadence bounding half-open-connection detection. The
+// zero value is a plaintext, unauthenticated link.
+type ShardNetConfig = shard.NetConfig
+
 // DialShardWorker attaches a remote worker serving the shard protocol
 // over TCP (ServeShardWorkers, or `availsim -shard-serve`).
 func DialShardWorker(addr string) (ShardWorker, error) { return shard.Dial(addr) }
 
+// DialShardWorkerNet is DialShardWorker with explicit transport
+// configuration (TLS, token authentication, timeouts).
+func DialShardWorkerNet(addr string, nc ShardNetConfig) (ShardWorker, error) {
+	return shard.DialNet(addr, nc)
+}
+
 // ServeShardWorkers turns this process into a TCP shard worker
 // serving jobs on addr until the listener fails.
 func ServeShardWorkers(addr string) error { return shard.ListenAndServe(addr, nil) }
+
+// ServeShardWorkersNet is ServeShardWorkers with explicit transport
+// configuration (TLS termination, token authentication, heartbeats).
+func ServeShardWorkersNet(addr string, nc ShardNetConfig) error {
+	return shard.ListenAndServeNet(addr, nc, nil)
+}
+
+// JoinShardCoordinator dials a coordinator accepting shard workers
+// (ListenShardWorkers, or `availsim -shard-listen`), registers with
+// the advertised capacity (0 = all local cores), and serves jobs until
+// the coordinator closes the connection.
+func JoinShardCoordinator(addr string, capacity int, nc ShardNetConfig) error {
+	return shard.Join(addr, capacity, nc)
+}
+
+// ListenShardWorkers accepts workers joining via JoinShardCoordinator
+// (or `availsim -shard-join`) on addr, delivering each on the returned
+// channel, ready for ShardConfig.WorkerSource. Close the listener to
+// stop accepting and close the channel.
+func ListenShardWorkers(addr string, nc ShardNetConfig) (net.Listener, <-chan ShardWorker, error) {
+	return shard.ListenWorkers(addr, nc, nil)
+}
 
 // SimulateRange computes the canonical cell partials of the aligned
 // iteration range [start, end) of a run; MergeSimPartials folds

@@ -24,10 +24,18 @@ type Config struct {
 	// count is capped at the cell count, so over-asking is safe. For
 	// adaptive runs it is the shard count per wave.
 	Shards int
-	// Workers execute the shards; at least one is required. Use
-	// SpawnLocal for sibling processes, Dial for remote TCP workers,
-	// NewInProcessWorker for this process.
+	// Workers execute the shards. Use SpawnLocal for sibling
+	// processes, Dial for remote TCP workers, NewInProcessWorker for
+	// this process. May be empty when WorkerSource is set.
 	Workers []Worker
+	// WorkerSource, when non-nil, delivers workers that join the pool
+	// while the run executes (elastic execution — see ListenWorkers).
+	// The run finishes with whatever workers are present; while the
+	// channel is open, a run whose last worker died waits for a joiner
+	// instead of failing. Workers received from the source are closed
+	// by the coordinator when the run ends; Workers remain the
+	// caller's to close.
+	WorkerSource <-chan Worker
 	// Checkpoint, when non-empty, is the path of the resume log:
 	// completed shards are appended as they finish, and a rerun with
 	// the same path and configuration skips them.
@@ -74,7 +82,8 @@ type Stats struct {
 	// already-completed shard and were dropped (exactly-once merging).
 	DuplicateResults int
 	// WorkerFailures counts workers that died mid-run and had their
-	// shard reassigned.
+	// shards reassigned — once per worker, however many jobs it held —
+	// plus each malformed result dropped and recomputed.
 	WorkerFailures int
 	// Waves counts the handout waves opened (1 for fixed-N runs).
 	Waves int
@@ -169,12 +178,12 @@ func Run(cfg Config) (sim.Summary, error) {
 
 // RunStats is Run with the run's fault/resume statistics.
 func RunStats(cfg Config) (sim.Summary, Stats, error) {
-	res, err := RunPipeline([]RunSpec{{
+	res, err := RunPipelineSource([]RunSpec{{
 		Params:     cfg.Params,
 		Options:    cfg.Options,
 		Shards:     cfg.Shards,
 		Checkpoint: cfg.Checkpoint,
-	}}, cfg.Workers, cfg.Log)
+	}}, cfg.Workers, cfg.WorkerSource, cfg.Log)
 	if len(res) != 1 {
 		return sim.Summary{}, Stats{}, err
 	}
@@ -192,25 +201,44 @@ func RunStats(cfg Config) (sim.Summary, Stats, error) {
 // for runs the pipeline failed before finishing); the error is the
 // first fatal condition, nil when every run completed.
 func RunPipeline(specs []RunSpec, workers []Worker, logw io.Writer) ([]RunResult, error) {
+	return RunPipelineSource(specs, workers, nil, logw)
+}
+
+// RunPipelineSource is RunPipeline with an elastic worker pool: beyond
+// the initial workers (which may be empty), every Worker delivered on
+// source joins the pool mid-run and starts taking shards. While source
+// is open, a pool whose last worker died waits for a joiner instead of
+// failing the run; once source is closed (or when it is nil) the old
+// static semantics apply. Workers received from source are closed by
+// the coordinator when the pipeline ends; the initial workers remain
+// the caller's to close.
+func RunPipelineSource(specs []RunSpec, workers []Worker, source <-chan Worker, logw io.Writer) ([]RunResult, error) {
 	out := make([]RunResult, len(specs))
 	if len(specs) == 0 {
 		return out, nil
 	}
-	if len(workers) == 0 {
+	if len(workers) == 0 && source == nil {
 		return out, fmt.Errorf("shard: no workers")
 	}
 	if logw == nil {
 		logw = io.Discard
 	}
 	d := &dispatcher{
-		logw:     logw,
-		start:    time.Now(),
-		jobIndex: make(map[int]jobKey),
-		assigned: make(map[int]*assignment),
+		logw:       logw,
+		start:      time.Now(),
+		jobIndex:   make(map[int]jobKey),
+		assigned:   make(map[int]*assignment),
+		deadWorker: make(map[Worker]bool),
+		sourceOpen: source != nil,
+		done:       make(chan struct{}),
 	}
 	d.cond = sync.NewCond(&d.mu)
+	poolSize := len(workers)
+	if poolSize == 0 {
+		poolSize = 1
+	}
 	for i := range specs {
-		r, err := newRunState(i, &specs[i], len(workers), logw)
+		r, err := newRunState(i, &specs[i], poolSize, logw)
 		if err != nil {
 			d.closeCheckpoints()
 			return out, err
@@ -227,18 +255,51 @@ func RunPipeline(specs []RunSpec, workers []Worker, logw io.Writer) ([]RunResult
 	}
 	d.mu.Unlock()
 
-	var wg sync.WaitGroup
 	for _, w := range workers {
-		if sb, ok := w.(strayBanker); ok {
-			sb.setStray(d.bankStray)
-		}
-		wg.Add(1)
-		go func(w Worker) {
-			defer wg.Done()
-			d.serve(w)
-		}(w)
+		d.addWorker(w)
 	}
-	wg.Wait()
+
+	// The intake goroutine folds joining workers into the pool until
+	// the source closes or the pipeline ends. It owns joined until it
+	// exits (and it exits before wg.Wait below), so the close loop at
+	// the end reads it race-free.
+	var joined []Worker
+	var intake sync.WaitGroup
+	if source != nil {
+		intake.Add(1)
+		go func() {
+			defer intake.Done()
+			for {
+				select {
+				case w, ok := <-source:
+					if !ok {
+						d.mu.Lock()
+						d.sourceOpen = false
+						dead := d.live == 0
+						d.mu.Unlock()
+						if dead {
+							d.signalDone()
+						}
+						return
+					}
+					joined = append(joined, w)
+					d.addWorker(w)
+				case <-d.done:
+					d.mu.Lock()
+					d.sourceOpen = false
+					d.mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+
+	<-d.done
+	intake.Wait()
+	d.wg.Wait()
+	for _, w := range joined {
+		w.Close()
+	}
 
 	var firstErr error
 	d.mu.Lock()
@@ -381,6 +442,74 @@ type dispatcher struct {
 
 	jobIndex map[int]jobKey      // every job ever issued (strays resolve here)
 	assigned map[int]*assignment // in-flight jobs only
+
+	// deadWorker dedupes WorkerFailures: a pipelined worker holds
+	// several jobs, and its death must count once, not once per job.
+	deadWorker map[Worker]bool
+
+	wg   sync.WaitGroup // serve goroutines
+	live int            // serve goroutines not yet exited
+	// sourceOpen is true while an elastic worker source may still
+	// deliver joiners; it keeps a workerless pool waiting instead of
+	// declaring the run dead.
+	sourceOpen bool
+	done       chan struct{} // closed when the pipeline must unwind
+	doneOnce   sync.Once
+}
+
+func (d *dispatcher) signalDone() { d.doneOnce.Do(func() { close(d.done) }) }
+
+// addWorker plugs a worker into the pool: the coordinator's stray sink
+// is installed, and one serve goroutine per pipeline slot starts
+// claiming shards (PipelineDepth slots for workers that support
+// double-buffering, one otherwise).
+func (d *dispatcher) addWorker(w Worker) {
+	if sb, ok := w.(strayBanker); ok {
+		sb.setStray(d.bankStray)
+	}
+	depth := 1
+	if p, ok := w.(Pipeliner); ok && p.PipelineDepth() > 1 {
+		depth = p.PipelineDepth()
+	}
+	d.mu.Lock()
+	d.live += depth
+	d.mu.Unlock()
+	for i := 0; i < depth; i++ {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serve(w)
+			d.exitServe()
+		}()
+	}
+}
+
+// exitServe retires one serve goroutine. When the last one goes and no
+// joiner can revive the pool — the source is closed, or there is no
+// pending work a joiner could take — the pipeline unwinds.
+func (d *dispatcher) exitServe() {
+	d.mu.Lock()
+	d.live--
+	drained := d.live == 0 && !(d.sourceOpen && d.pendingWorkLocked())
+	d.mu.Unlock()
+	if drained {
+		d.signalDone()
+	}
+}
+
+// pendingWorkLocked reports whether any unfinished run still has
+// shards to hand out (queued, in flight for reassignment, or in
+// unopened waves). Callers hold d.mu.
+func (d *dispatcher) pendingWorkLocked() bool {
+	for _, r := range d.runs {
+		if r.finished {
+			continue
+		}
+		if len(r.queue) > 0 || r.inflight > 0 || r.nextWave < len(r.waves) {
+			return true
+		}
+	}
+	return false
 }
 
 // jobSeq issues process-unique job ids. Uniqueness across coordinators
@@ -420,10 +549,13 @@ func (d *dispatcher) serve(w Worker) {
 			}
 			d.mu.Lock()
 			r := d.runs[key.run]
-			r.stats.WorkerFailures++
+			if !d.deadWorker[w] {
+				d.deadWorker[w] = true
+				r.stats.WorkerFailures++
+			}
 			r.inflight--
 			delete(d.assigned, job.ID)
-			if _, alreadyDone := r.done[key.shard]; !alreadyDone && !r.finished {
+			if _, alreadyDone := r.done[key.shard]; !alreadyDone && !r.finished && !queued(r.queue, key.shard) {
 				r.queue = append(r.queue, key.shard)
 			}
 			fmt.Fprintf(d.logw, "shard: worker %s died (%v); run %d shard %d reassigned\n", w.Name(), err, key.run, key.shard)
@@ -655,6 +787,16 @@ func (d *dispatcher) finishLocked(r *runState, stopAt int) {
 	// deep. Every post-finish path is guarded by r.finished before it
 	// touches r.done.
 	r.done = nil
+	all := true
+	for _, rr := range d.runs {
+		if !rr.finished {
+			all = false
+			break
+		}
+	}
+	if all {
+		d.signalDone()
+	}
 	d.cond.Broadcast()
 }
 
@@ -714,5 +856,6 @@ func (d *dispatcher) failLocked(err error) {
 	if d.fatal == nil {
 		d.fatal = err
 	}
+	d.signalDone()
 	d.cond.Broadcast()
 }

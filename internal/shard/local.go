@@ -107,7 +107,7 @@ func SpawnLocal(n int) ([]Worker, error) {
 			io.Writer
 		}{stdout, stdin})
 		workers = append(workers, &processWorker{
-			remoteWorker: &remoteWorker{name: fmt.Sprintf("proc:%d", cmd.Process.Pid), t: t, jobWorkers: 1},
+			remoteWorker: newRemoteWorker(fmt.Sprintf("proc:%d", cmd.Process.Pid), t, 1),
 			cmd:          cmd,
 			stdin:        stdin,
 		})

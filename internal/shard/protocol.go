@@ -24,14 +24,19 @@
 // floating-point merge tree never depends on the partitioning.
 //
 // Workers speak a newline-delimited JSON protocol (one message object
-// per line): hello for version agreement, job to assign a shard,
-// result/error to answer, cancel/cancelled to abandon a job whose
-// iterations an adaptive run no longer needs. Completed shards are
-// appended to a checkpoint log, so a killed coordinator resumes
-// without recomputing them, and shards assigned to a worker that dies
-// are handed to the survivors. See README.md ("Sharded execution" and
-// "Adaptive precision") for the full protocol and failure-handling
-// story.
+// per line): hello for the version/auth handshake, job to assign a
+// shard, result/error to answer, cancel/cancelled to abandon a job
+// whose iterations an adaptive run no longer needs, ping as a liveness
+// heartbeat. TCP links (coordinator-dials-worker and
+// worker-joins-coordinator alike) open with a three-message
+// authenticated hello exchange — optionally inside TLS — and carry
+// heartbeats both ways, so a half-open or stalled peer is detected
+// within a bounded deadline instead of wedging a receive loop forever.
+// Completed shards are appended to a checkpoint log, so a killed
+// coordinator resumes without recomputing them, and shards assigned to
+// a worker that dies are handed to the survivors. See README.md
+// ("Sharded execution" and "Adaptive precision") for the full protocol
+// and failure-handling story.
 package shard
 
 import (
@@ -47,18 +52,30 @@ import (
 // ProtocolVersion identifies the wire protocol; hello messages carry
 // it and mismatches abort the connection. Version 2 added the
 // cancel/cancelled pair adaptive runs use to abandon jobs whose
-// iterations the stopping rule made unnecessary.
-const ProtocolVersion = 2
+// iterations the stopping rule made unnecessary. Version 3 added the
+// authenticated handshake (nonce/mac hello fields), heartbeat pings
+// with read deadlines, worker join/registration (capacity
+// advertisement), and queued job delivery (double-buffering): a
+// coordinator may keep more than one job outstanding per connection
+// and the worker executes them strictly in arrival order.
+const ProtocolVersion = 3
 
 // Message types.
 const (
-	// MsgHello is sent by a worker when it connects.
+	// MsgHello opens a connection (see the handshake in net.go): it
+	// carries the protocol version, a random nonce, and — when a shared
+	// token is configured — an HMAC proving knowledge of the token over
+	// both sides' nonces. On TCP links each side also advertises its
+	// heartbeat interval and, for workers, their job capacity.
 	MsgHello = "hello"
-	// MsgJob assigns one shard to a worker.
+	// MsgJob assigns one shard to a worker. Workers queue jobs and
+	// execute them one at a time in arrival order, so a coordinator may
+	// send the next job before the previous one answered.
 	MsgJob = "job"
 	// MsgResult returns a completed shard's cell partials.
 	MsgResult = "result"
-	// MsgError reports a job-level failure.
+	// MsgError reports a job-level failure (ID set) or a connection-
+	// level rejection such as failed authentication (ID zero).
 	MsgError = "error"
 	// MsgCancel asks the worker to abandon an in-flight job (sent by
 	// the coordinator once an adaptive run's stopping rule binds). The
@@ -67,6 +84,11 @@ const (
 	MsgCancel = "cancel"
 	// MsgCancelled acknowledges an abandoned job; no partials follow.
 	MsgCancelled = "cancelled"
+	// MsgPing is a liveness heartbeat, sent periodically in both
+	// directions on TCP links and ignored by the receiver beyond
+	// resetting its read deadline. A half-open peer stops producing
+	// them and is detected when the deadline fires.
+	MsgPing = "ping"
 )
 
 // Message is the envelope of every protocol exchange: one JSON object
@@ -75,6 +97,20 @@ type Message struct {
 	Type string `json:"type"`
 	// Version accompanies hello.
 	Version int `json:"version,omitempty"`
+	// Nonce is this side's random handshake nonce (hex), carried by
+	// hello messages on authenticated links.
+	Nonce string `json:"nonce,omitempty"`
+	// MAC is the hex HMAC-SHA256 over both handshake nonces keyed by
+	// the shared token; it proves knowledge of the token without
+	// sending it.
+	MAC string `json:"mac,omitempty"`
+	// Capacity is a worker's advertised job parallelism (hello; 0
+	// means "all local cores").
+	Capacity int `json:"capacity,omitempty"`
+	// HeartbeatMS is the sender's heartbeat interval in milliseconds
+	// (hello); the receiver sizes its read deadline from it. Zero means
+	// the sender does not heartbeat (stdio pipes).
+	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
 	// Job accompanies job messages.
 	Job *Job `json:"job,omitempty"`
 	// ID names the job a result, error, cancel or cancelled message
@@ -100,10 +136,9 @@ type Job struct {
 	Params  WireParams  `json:"params"`
 	Options sim.Options `json:"options"`
 	// Cancellable marks jobs the coordinator may cancel mid-flight
-	// (shards of an adaptive run). Workers execute them concurrently
-	// with the receive loop so a cancel can interrupt; plain jobs run
-	// synchronously, which keeps the fixed-N hot path free of handoff
-	// latency.
+	// (shards of an adaptive run). Since protocol v3 every job executes
+	// off the receive loop and can be interrupted, so the flag is
+	// informational, kept on the wire for observability.
 	Cancellable bool `json:"cancellable,omitempty"`
 }
 

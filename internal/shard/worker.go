@@ -14,30 +14,33 @@ import (
 // Serve runs the worker side of the shard protocol over a transport:
 // it announces itself with a hello, then answers each job message with
 // a result (the job range's cell partials), a job-scoped error, or —
-// when a cancel for the job arrives while it runs — a cancelled
-// acknowledgement. Jobs execute in a goroutine so the receive loop
-// stays responsive to cancels; the coordinator still sends at most one
-// job at a time per connection. Serve returns nil when the coordinator
-// closes the stream.
+// when a cancel for the job arrives — a cancelled acknowledgement.
+// Jobs are queued and executed strictly in arrival order off the
+// receive loop, so the loop stays responsive to cancels and the
+// coordinator may keep more than one job outstanding (protocol v3
+// double-buffering). Serve returns nil when the coordinator closes the
+// stream.
+//
+// Serve is the plain, unauthenticated entry point used on stdio pipes
+// and in-memory transports; TCP connections run the hello handshake in
+// net.go first and then the same job loop.
 func Serve(t Transport) error {
 	if err := t.Send(&Message{Type: MsgHello, Version: ProtocolVersion}); err != nil {
 		return err
 	}
-	var (
-		mu sync.Mutex
-		// stop holds the cancel channel of each running job; cancelled
-		// tombstones cancels that arrived before their job (the
-		// coordinator's cancel send can overtake the job send), so the
-		// job is answered cancelled instead of executed.
-		stop      = make(map[int]chan struct{})
-		cancelled = make(map[int]bool)
-		wg        sync.WaitGroup
-	)
-	defer wg.Wait()
+	return serveJobs(t)
+}
+
+// serveJobs is the worker's post-handshake job loop: the receive side
+// feeds a FIFO executor and handles cancels, pings and malformed
+// messages inline.
+func serveJobs(t Transport) error {
+	ex := newJobExecutor(t)
+	defer ex.shutdown()
 	for {
 		m, err := t.Recv()
 		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
@@ -50,54 +53,130 @@ func Serve(t Transport) error {
 				}
 				continue
 			}
-			if !m.Job.Cancellable {
-				// Plain jobs answer synchronously on the receive
-				// goroutine: no handoff, no cancellation bookkeeping.
-				if err := t.Send(jobReply(m.Job, nil)); err != nil {
-					return err
-				}
-				continue
-			}
-			st := make(chan struct{})
-			mu.Lock()
-			if cancelled[m.Job.ID] {
-				delete(cancelled, m.Job.ID)
-				mu.Unlock()
-				if err := t.Send(&Message{Type: MsgCancelled, ID: m.Job.ID}); err != nil {
-					return err
-				}
-				continue
-			}
-			stop[m.Job.ID] = st
-			mu.Unlock()
-			wg.Add(1)
-			go func(j *Job) {
-				defer wg.Done()
-				reply := jobReply(j, st)
-				mu.Lock()
-				delete(stop, j.ID)
-				mu.Unlock()
-				// A send failure means the coordinator is gone; the main
-				// Recv loop observes the same condition and exits.
-				_ = t.Send(reply)
-			}(m.Job)
+			ex.enqueue(m.Job)
 		case MsgCancel:
-			mu.Lock()
-			if st, ok := stop[m.ID]; ok {
-				close(st)
-				delete(stop, m.ID)
-			} else {
-				cancelled[m.ID] = true
-			}
-			mu.Unlock()
-		case MsgHello:
-			// Ignore: transports may echo hellos.
+			ex.cancel(m.ID)
+		case MsgHello, MsgPing:
+			// Hellos may be echoed by transports; pings are liveness
+			// only — receiving one already reset the read deadline.
 		default:
 			if err := t.Send(&Message{Type: MsgError, ID: m.ID, Error: fmt.Sprintf("unknown message type %q", m.Type)}); err != nil {
 				return err
 			}
 		}
 	}
+}
+
+// jobExecutor runs queued jobs one at a time in arrival order, off the
+// receive goroutine. Cancels interrupt the running job (its stop
+// channel), remove a still-queued job, or tombstone a job that has not
+// arrived yet (the coordinator's cancel send can overtake the job
+// send); all three answer with a cancelled message.
+type jobExecutor struct {
+	t Transport
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*Job
+	stop      map[int]chan struct{}
+	cancelled map[int]bool
+	closed    bool
+	done      chan struct{}
+}
+
+func newJobExecutor(t Transport) *jobExecutor {
+	e := &jobExecutor{
+		t:         t,
+		stop:      make(map[int]chan struct{}),
+		cancelled: make(map[int]bool),
+		done:      make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	go e.run()
+	return e
+}
+
+func (e *jobExecutor) run() {
+	defer close(e.done)
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		if e.cancelled[j.ID] {
+			delete(e.cancelled, j.ID)
+			e.mu.Unlock()
+			_ = e.t.Send(&Message{Type: MsgCancelled, ID: j.ID})
+			continue
+		}
+		st := make(chan struct{})
+		e.stop[j.ID] = st
+		e.mu.Unlock()
+		reply := jobReply(j, st)
+		e.mu.Lock()
+		delete(e.stop, j.ID)
+		e.mu.Unlock()
+		// A send failure means the coordinator is gone; the receive
+		// loop observes the same condition and shuts the executor down.
+		_ = e.t.Send(reply)
+	}
+}
+
+func (e *jobExecutor) enqueue(j *Job) {
+	e.mu.Lock()
+	if e.cancelled[j.ID] {
+		delete(e.cancelled, j.ID)
+		e.mu.Unlock()
+		_ = e.t.Send(&Message{Type: MsgCancelled, ID: j.ID})
+		return
+	}
+	e.queue = append(e.queue, j)
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+func (e *jobExecutor) cancel(id int) {
+	e.mu.Lock()
+	if st, ok := e.stop[id]; ok {
+		// Running: interrupt it; the executor answers cancelled when
+		// the stream winds down.
+		close(st)
+		delete(e.stop, id)
+		e.mu.Unlock()
+		return
+	}
+	for i, j := range e.queue {
+		if j.ID == id {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.mu.Unlock()
+			_ = e.t.Send(&Message{Type: MsgCancelled, ID: id})
+			return
+		}
+	}
+	e.cancelled[id] = true
+	e.mu.Unlock()
+}
+
+// shutdown interrupts the running job, drops the queue and waits for
+// the executor goroutine to exit. Called when the connection is gone,
+// so undelivered replies are moot.
+func (e *jobExecutor) shutdown() {
+	e.mu.Lock()
+	e.closed = true
+	e.queue = nil
+	for id, st := range e.stop {
+		close(st)
+		delete(e.stop, id)
+	}
+	e.cond.Signal()
+	e.mu.Unlock()
+	<-e.done
 }
 
 // jobReply executes one job and wraps its outcome as the protocol
@@ -145,34 +224,7 @@ func ServeStream(rw io.ReadWriter) error {
 	return Serve(NewTransport(rw))
 }
 
-// ListenAndServe runs a TCP worker: it accepts connections on addr and
-// serves the shard protocol on each, using every local core per job
-// unless the job says otherwise. The ready callback, when non-nil,
-// receives the bound address before accepting begins (useful with
-// ":0").
-func ListenAndServe(addr string, ready func(net.Addr)) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	defer ln.Close()
-	if ready != nil {
-		ready(ln.Addr())
-	}
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		go func(c net.Conn) {
-			defer c.Close()
-			_ = ServeStream(c)
-		}(conn)
-	}
-}
-
-// Worker executes shard jobs one at a time on behalf of the
-// coordinator.
+// Worker executes shard jobs on behalf of the coordinator.
 type Worker interface {
 	// Name identifies the worker in logs and errors.
 	Name() string
@@ -180,10 +232,20 @@ type Worker interface {
 	// returned error means the worker is unusable (its job must be
 	// reassigned); job-scoped failures reported by a live remote
 	// worker surface as *JobError, and a job abandoned after CancelJob
-	// as ErrJobCancelled.
+	// as ErrJobCancelled. Run is safe for concurrent use on workers
+	// that advertise a PipelineDepth above one.
 	Run(job *Job) ([]sim.Partial, error)
 	// Close releases the worker's resources.
 	Close() error
+}
+
+// Pipeliner is implemented by workers that can usefully hold more than
+// one job at a time: the coordinator keeps PipelineDepth jobs
+// outstanding so the worker's next job is already queued remotely when
+// the previous result lands, hiding the result-decode + round-trip gap.
+// Workers without the interface run one job at a time.
+type Pipeliner interface {
+	PipelineDepth() int
 }
 
 // JobCanceler is implemented by workers that can abandon an in-flight
@@ -210,20 +272,28 @@ type JobError struct {
 
 func (e *JobError) Error() string { return fmt.Sprintf("shard %d: %s", e.ID, e.Msg) }
 
-// remoteWorker drives one protocol connection as a Worker. Stray
-// result messages — answers for shards this worker is not currently
-// running, e.g. re-deliveries after a presumed-lost connection — are
-// handed to onStray so the coordinator can still bank them (or drop
-// duplicates) instead of confusing them with the current job.
+// remoteWorker drives one protocol connection as a Worker. A single
+// pump goroutine owns the transport's receive side and routes each
+// reply to the pending Run that sent the job, so several Runs can be
+// in flight at once (PipelineDepth). Stray result messages — answers
+// for shards no Run is waiting on, e.g. re-deliveries after a
+// presumed-lost connection — are handed to onStray so the coordinator
+// can still bank them (or drop duplicates) instead of losing them.
 type remoteWorker struct {
 	name string
 	t    Transport
 	// jobWorkers, when non-negative, overrides Job.Options.Workers for
 	// every job sent through this worker: 1 pins a local sibling
 	// process to one core; 0 lets a remote machine use all of its
-	// cores.
+	// cores; a join-mode worker's advertised capacity caps it there.
 	jobWorkers int
-	onStray    func(id int, parts []sim.Partial)
+
+	mu       sync.Mutex
+	pending  map[int]chan *Message
+	onStray  func(id int, parts []sim.Partial)
+	pumpErr  error
+	pumpDone chan struct{}
+	pumpOnce sync.Once
 }
 
 // strayBanker is implemented by workers that can surface stray result
@@ -232,52 +302,130 @@ type strayBanker interface {
 	setStray(func(id int, parts []sim.Partial))
 }
 
-func (w *remoteWorker) setStray(fn func(int, []sim.Partial)) { w.onStray = fn }
+func (w *remoteWorker) setStray(fn func(int, []sim.Partial)) {
+	w.mu.Lock()
+	w.onStray = fn
+	w.mu.Unlock()
+}
 
 // NewRemoteWorker wraps a protocol transport as a Worker. jobWorkers
 // overrides the per-job parallelism (-1 keeps the job's own setting).
 func NewRemoteWorker(name string, t Transport, jobWorkers int) Worker {
-	return &remoteWorker{name: name, t: t, jobWorkers: jobWorkers}
+	return newRemoteWorker(name, t, jobWorkers)
+}
+
+func newRemoteWorker(name string, t Transport, jobWorkers int) *remoteWorker {
+	return &remoteWorker{
+		name:       name,
+		t:          t,
+		jobWorkers: jobWorkers,
+		pending:    make(map[int]chan *Message),
+		pumpDone:   make(chan struct{}),
+	}
 }
 
 func (w *remoteWorker) Name() string { return w.name }
 
-func (w *remoteWorker) Run(job *Job) ([]sim.Partial, error) {
-	j := *job
-	if w.jobWorkers >= 0 {
-		j.Options.Workers = w.jobWorkers
-	}
-	if err := w.t.Send(&Message{Type: MsgJob, Job: &j}); err != nil {
-		return nil, fmt.Errorf("worker %s: send: %w", w.name, err)
-	}
+// PipelineDepth keeps two jobs in flight per connection: while one
+// executes remotely the next is already queued in the worker's
+// executor, so the worker never idles for the result round-trip.
+func (w *remoteWorker) PipelineDepth() int { return 2 }
+
+// pump is the sole reader of the transport: it routes each reply to
+// its pending Run, banks strays, and on any receive failure records
+// the error and releases every waiter.
+func (w *remoteWorker) pump() {
+	defer close(w.pumpDone)
 	for {
 		m, err := w.t.Recv()
 		if err != nil {
-			return nil, fmt.Errorf("worker %s: recv: %w", w.name, err)
+			w.mu.Lock()
+			w.pumpErr = fmt.Errorf("worker %s: recv: %w", w.name, err)
+			w.mu.Unlock()
+			return
 		}
 		switch m.Type {
 		case MsgHello:
 			if m.Version != ProtocolVersion {
-				return nil, fmt.Errorf("worker %s: protocol version %d, want %d", w.name, m.Version, ProtocolVersion)
+				w.mu.Lock()
+				w.pumpErr = fmt.Errorf("worker %s: protocol version %d, want %d", w.name, m.Version, ProtocolVersion)
+				w.mu.Unlock()
+				return
 			}
-		case MsgResult:
-			if m.ID == job.ID {
-				return m.Partials, nil
+		case MsgPing:
+			// Liveness only; receiving it reset the read deadline.
+		case MsgResult, MsgError, MsgCancelled:
+			w.mu.Lock()
+			ch := w.pending[m.ID]
+			if ch != nil {
+				delete(w.pending, m.ID)
 			}
-			if w.onStray != nil {
-				w.onStray(m.ID, m.Partials)
-			}
-		case MsgError:
-			if m.ID == job.ID {
-				return nil, &JobError{ID: m.ID, Msg: m.Error}
-			}
-		case MsgCancelled:
-			if m.ID == job.ID {
-				return nil, ErrJobCancelled
+			stray := w.onStray
+			w.mu.Unlock()
+			switch {
+			case ch != nil:
+				ch <- m // buffered; never blocks
+			case m.Type == MsgResult && stray != nil:
+				stray(m.ID, m.Partials)
 			}
 		default:
-			return nil, fmt.Errorf("worker %s: unexpected message type %q", w.name, m.Type)
+			w.mu.Lock()
+			w.pumpErr = fmt.Errorf("worker %s: unexpected message type %q", w.name, m.Type)
+			w.mu.Unlock()
+			return
 		}
+	}
+}
+
+func (w *remoteWorker) Run(job *Job) ([]sim.Partial, error) {
+	w.pumpOnce.Do(func() { go w.pump() })
+	j := *job
+	if w.jobWorkers >= 0 {
+		j.Options.Workers = w.jobWorkers
+	}
+	ch := make(chan *Message, 1)
+	w.mu.Lock()
+	if w.pumpErr != nil {
+		err := w.pumpErr
+		w.mu.Unlock()
+		return nil, err
+	}
+	w.pending[job.ID] = ch
+	w.mu.Unlock()
+	if err := w.t.Send(&Message{Type: MsgJob, Job: &j}); err != nil {
+		w.mu.Lock()
+		delete(w.pending, job.ID)
+		w.mu.Unlock()
+		return nil, fmt.Errorf("worker %s: send: %w", w.name, err)
+	}
+	var m *Message
+	select {
+	case m = <-ch:
+	case <-w.pumpDone:
+		// The pump may have routed the reply just before dying; prefer
+		// the delivered result over the connection error.
+		select {
+		case m = <-ch:
+		default:
+			w.mu.Lock()
+			delete(w.pending, job.ID)
+			err := w.pumpErr
+			w.mu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("worker %s: connection closed", w.name)
+			}
+			return nil, err
+		}
+	}
+	switch m.Type {
+	case MsgResult:
+		return m.Partials, nil
+	case MsgCancelled:
+		return nil, ErrJobCancelled
+	case MsgError:
+		return nil, &JobError{ID: m.ID, Msg: m.Error}
+	default:
+		return nil, fmt.Errorf("worker %s: unexpected reply type %q", w.name, m.Type)
 	}
 }
 
@@ -289,17 +437,6 @@ func (w *remoteWorker) CancelJob(id int) {
 }
 
 func (w *remoteWorker) Close() error { return w.t.Close() }
-
-// Dial attaches a remote TCP worker (a process running
-// ListenAndServe, e.g. `availsim -shard-serve`). Jobs sent to it use
-// all of the remote machine's cores.
-func Dial(addr string) (Worker, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("shard: dial %s: %w", addr, err)
-	}
-	return NewRemoteWorker("tcp:"+addr, NewTransport(conn), 0), nil
-}
 
 // inProcessWorker runs jobs directly in the coordinator's process.
 type inProcessWorker struct {

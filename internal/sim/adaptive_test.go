@@ -233,6 +233,8 @@ func TestOptionsAdaptiveValidation(t *testing.T) {
 		"max without target": {Iterations: 100, MissionTime: 1e5, MaxIters: 200},
 		"max below min":      {Iterations: 300, MissionTime: 1e5, TargetHalfWidth: 1e-6, MaxIters: 200},
 		"negative max":       {Iterations: 100, MissionTime: 1e5, TargetHalfWidth: 1e-6, MaxIters: -1},
+		"confidence one":     {Iterations: 100, MissionTime: 1e5, Confidence: 1},
+		"NaN confidence":     {Iterations: 100, MissionTime: 1e5, Confidence: math.NaN()},
 	} {
 		if err := o.Validate(); err == nil {
 			t.Errorf("%s: options accepted", name)

@@ -303,7 +303,9 @@ func (o *Options) Validate() error {
 	if o.MissionTime <= 0 || math.IsNaN(o.MissionTime) || math.IsInf(o.MissionTime, 0) {
 		return fmt.Errorf("sim: mission time %v must be positive and finite", o.MissionTime)
 	}
-	if o.Confidence < 0 || o.Confidence >= 1 {
+	// The negated-range form catches NaN, which plain comparisons let
+	// through straight into a Student-t quantile panic downstream.
+	if !(o.Confidence >= 0 && o.Confidence < 1) {
 		return fmt.Errorf("sim: confidence %v outside [0,1)", o.Confidence)
 	}
 	if o.Kernel != KernelAuto && o.Kernel != KernelGeneric && o.Kernel != KernelMemoryless {

@@ -153,8 +153,12 @@ func (a *Accumulator) StdErr() float64 {
 
 // ConfidenceInterval returns the symmetric Student-t confidence
 // interval of the mean at the given confidence level (e.g. 0.99). For
-// n < 2 the interval is degenerate at the mean.
+// n < 2 the interval is degenerate at the mean; a level outside (0, 1)
+// — including NaN — yields a NaN interval rather than a panic.
 func (a *Accumulator) ConfidenceInterval(level float64) Interval {
+	if !(level > 0 && level < 1) {
+		return Interval{math.NaN(), math.NaN()}
+	}
 	if a.n < 2 {
 		return Interval{a.mean, a.mean}
 	}
@@ -165,8 +169,13 @@ func (a *Accumulator) ConfidenceInterval(level float64) Interval {
 // HalfWidth returns the Student-t confidence half-width at the given
 // level. As the paper notes (§III), the Monte-Carlo error is inversely
 // proportional to the square root of the iteration count times the
-// t coefficient for the target confidence.
+// t coefficient for the target confidence. A level outside (0, 1) —
+// including NaN — yields NaN rather than a panic, so callers can
+// validate with a single IsNaN check.
 func (a *Accumulator) HalfWidth(level float64) float64 {
+	if !(level > 0 && level < 1) {
+		return math.NaN()
+	}
 	if a.n < 2 {
 		return 0
 	}
@@ -497,22 +506,36 @@ func (h *Histogram) BinCenter(i int) float64 {
 }
 
 // Quantile returns an approximate q-quantile from binned data
-// (midpoint rule); NaN when empty.
+// (midpoint rule): the bin holding the ceil(q·n)-th smallest
+// observation (empirical type-1 quantile). Underflow answers h.Lo and
+// overflow h.Hi; NaN when empty or for q outside [0, 1].
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.total == 0 {
+	if h.total == 0 || !(q >= 0 && q <= 1) {
 		return math.NaN()
 	}
-	target := int64(q * float64(h.total))
+	// The rank of the q-quantile observation, clamped to [1, total]:
+	// at q=1 the target is the maximum observation itself, which lives
+	// in the last non-empty bin — not h.Hi, which a truncating
+	// int64(q*total) with a strict cum>target test used to answer even
+	// with all mass in an interior bin.
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.total {
+		target = h.total
+	}
 	cum := h.Underflow
-	if cum > target {
+	if cum >= target {
 		return h.Lo
 	}
 	for i, c := range h.Counts {
 		cum += c
-		if cum > target {
+		if cum >= target {
 			return h.BinCenter(i)
 		}
 	}
+	// Only Overflow mass remains above the last bin.
 	return h.Hi
 }
 

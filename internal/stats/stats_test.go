@@ -484,3 +484,85 @@ func BenchmarkStudentTQuantile(b *testing.B) {
 		_ = StudentTQuantile(99, 0.995)
 	}
 }
+
+// TestHistogramQuantileAllMassInteriorBin pins the Quantile
+// off-by-one: with every observation in one interior bin, every
+// quantile — including q=1, whose truncated target used to walk off
+// the end and answer h.Hi — is that bin's center.
+func TestHistogramQuantileAllMassInteriorBin(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(3.5)
+	}
+	want := h.BinCenter(3)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+// TestHistogramQuantileOverflowMass checks high quantiles account for
+// Overflow: ranks inside the top overflow decile answer h.Hi, ranks at
+// or below the in-range mass answer their bin.
+func TestHistogramQuantileOverflowMass(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 90; i++ {
+		h.Add(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(42)
+	}
+	if got := h.Quantile(0.5); got != h.BinCenter(0) {
+		t.Errorf("Quantile(0.5) = %v, want %v", got, h.BinCenter(0))
+	}
+	if got := h.Quantile(0.9); got != h.BinCenter(0) {
+		t.Errorf("Quantile(0.9) = %v, want %v (90th observation is in-range)", got, h.BinCenter(0))
+	}
+	for _, q := range []float64{0.95, 1} {
+		if got := h.Quantile(q); got != h.Hi {
+			t.Errorf("Quantile(%v) = %v, want Hi=%v (overflow mass)", q, got, h.Hi)
+		}
+	}
+}
+
+// TestHistogramQuantileUnderflowAndDomain checks the low end and the
+// domain guard: underflow mass answers h.Lo, and q outside [0,1]
+// (including NaN) answers NaN instead of a bogus bin.
+func TestHistogramQuantileUnderflowAndDomain(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5)
+	h.Add(5.5)
+	if got := h.Quantile(0); got != h.Lo {
+		t.Errorf("Quantile(0) = %v, want Lo=%v", got, h.Lo)
+	}
+	if got := h.Quantile(1); got != h.BinCenter(5) {
+		t.Errorf("Quantile(1) = %v, want %v", got, h.BinCenter(5))
+	}
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+}
+
+// TestConfidenceLevelOutOfRangeIsNaN pins the non-panicking sentinel:
+// HalfWidth and ConfidenceInterval answer NaN for levels outside
+// (0,1) — the values that used to reach StudentTQuantile and panic.
+func TestConfidenceLevelOutOfRangeIsNaN(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i))
+	}
+	for _, lvl := range []float64{-0.5, 0, 1, 1.5, math.NaN()} {
+		if hw := a.HalfWidth(lvl); !math.IsNaN(hw) {
+			t.Errorf("HalfWidth(%v) = %v, want NaN", lvl, hw)
+		}
+		if iv := a.ConfidenceInterval(lvl); !math.IsNaN(iv.Lo) || !math.IsNaN(iv.Hi) {
+			t.Errorf("ConfidenceInterval(%v) = %v, want NaN interval", lvl, iv)
+		}
+	}
+	if hw := a.HalfWidth(0.99); math.IsNaN(hw) || hw <= 0 {
+		t.Errorf("HalfWidth(0.99) = %v, want positive", hw)
+	}
+}
