@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"herald/internal/dist"
+	"herald/internal/prof"
 	"herald/internal/report"
 	"herald/internal/shard"
 	"herald/internal/sim"
@@ -197,6 +198,8 @@ func main() {
 		shardToken     = flag.String("shard-token", "", "shared secret authenticating shard connections; both ends must agree (HMAC handshake, the token never crosses the wire)")
 		shardTLSCert   = flag.String("shard-tls-cert", "", "PEM certificate enabling TLS on listening shard sockets (-shard-serve, -shard-listen; with -shard-tls-key); on dialing sides, the client certificate for mutual TLS")
 		shardTLSKey    = flag.String("shard-tls-key", "", "PEM private key paired with -shard-tls-cert")
+		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof format)")
+		memProfile     = flag.String("memprofile", "", "write an allocation heap profile to this file after the simulation (go tool pprof format)")
 		shardTLSCA     = flag.String("shard-tls-ca", "", "PEM CA bundle: dialing sides verify the server against it (enables TLS on -shard-connect/-shard-join); listening sides additionally require client certificates chained to it (mutual TLS)")
 		shardHeartbeat = flag.Duration("shard-heartbeat", 0, "shard liveness heartbeat interval; a peer silent for 4 intervals is declared dead and its work reassigned (0 = 3s)")
 	)
@@ -303,6 +306,10 @@ func main() {
 	if err := o.Validate(); err != nil {
 		exitOn(err)
 	}
+	// Profiles bracket only the Monte-Carlo work, not flag parsing or
+	// report formatting.
+	stopProf, perr := prof.Start(*cpuProfile, *memProfile)
+	exitOn(perr)
 	var s sim.Summary
 	if *shards > 1 || *shardConnect != "" || *checkpoint != "" || *shardListen != "" {
 		s, err = runSharded(p, o, *shards, *workers, *checkpoint, *shardConnect, *shardListen, clientNC, serverNC)
@@ -310,6 +317,7 @@ func main() {
 		s, err = sim.Run(p, o)
 	}
 	exitOn(err)
+	exitOn(stopProf())
 
 	t := report.NewTable(
 		fmt.Sprintf("Monte-Carlo availability, %d-disk array, %s policy, TTF %s, service %s",

@@ -132,7 +132,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "committed baseline JSON (e.g. the newest BENCH_*.json)")
 		current   = flag.String("current", "", "fresh report JSON (scripts/bench.sh output)")
 		threshold = flag.Float64("threshold", 0.20, "fail when ns/op grows by more than this fraction")
-		match     = flag.String("match", "MCIteration|SampleN|ExpFloat64|NormFloat64|Uint32n|StudentTQuantile|SteadyState",
+		match     = flag.String("match", "MCIteration|SampleN|ExpFloat64|ErlangFloat64|NormFloat64|Uint32n|StudentTQuantile|SteadyState",
 			"regexp selecting the kernel benchmarks to gate on")
 		missingIs = flag.String("missing", "warn",
 			"how to treat gated baseline benchmarks absent from the current report: warn or fail")

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"herald/internal/prof"
 	"herald/internal/repro"
 	"herald/internal/shard"
 )
@@ -25,16 +26,18 @@ func main() {
 	shard.MaybeWorker()
 
 	var (
-		fig      = flag.String("fig", "all", "experiment id: "+strings.Join(repro.All(), ", ")+" or all")
-		iters    = flag.Int("iters", 0, "Monte-Carlo iterations per point (0 = default 4000; paper used 1e6)")
-		mission  = flag.Float64("mission", 0, "mission time per iteration in hours (0 = default 1e6)")
-		seed     = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); with -full, the worker-process count")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		full     = flag.Bool("full", false, "run the paper-scale sweep (policies x HEP at 1e6 iterations/point) pipelined across all cores")
+		fig        = flag.String("fig", "all", "experiment id: "+strings.Join(repro.All(), ", ")+" or all")
+		iters      = flag.Int("iters", 0, "Monte-Carlo iterations per point (0 = default 4000; paper used 1e6)")
+		mission    = flag.Float64("mission", 0, "mission time per iteration in hours (0 = default 1e6)")
+		seed       = flag.Uint64("seed", 0, "PRNG seed (0 = default)")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); with -full, the worker-process count")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		full       = flag.Bool("full", false, "run the paper-scale sweep (policies x HEP at 1e6 iterations/point) pipelined across all cores")
 		targetHW   = flag.Float64("target-halfwidth", 0, "with -full: stop each point at this CI half-width instead of the full iteration count (adaptive sequential sampling; -iters becomes the cap)")
 		undoLaws   = flag.Bool("undo-laws", false, "shorthand for -fig undo-laws: compare hyper-exponential / lognormal human-error undo latencies against the paper's exponential assumption")
 		confidence = flag.Float64("confidence", 0, "confidence level for the intervals (0 = default 0.99 as in the paper)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
+		memProfile = flag.String("memprofile", "", "write an allocation heap profile to this file after the run (go tool pprof format)")
 	)
 	flag.Parse()
 
@@ -59,8 +62,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repro: -target-halfwidth requires -full")
 		os.Exit(1)
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
 	if *full {
 		if err := repro.Full(o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
 			os.Exit(1)
 		}
@@ -95,5 +107,9 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
 	}
 }

@@ -226,6 +226,60 @@ func TestSampleNEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// TestErlangFloat64Moments checks the O(1) integer-shape draw against
+// the Erlang(k, 1) mean, variance, and median for stage counts on
+// both sides of the precomputed-constants cutoff.
+func TestErlangFloat64Moments(t *testing.T) {
+	r := xrand.NewStream(7, 0)
+	for _, k := range []int{1, 2, 3, 8, 64, 100} {
+		const n = 200000
+		sum, sum2, below := 0.0, 0.0, 0
+		med := NewGamma(float64(k), 1).Quantile(0.5)
+		for i := 0; i < n; i++ {
+			v := ErlangFloat64(r, k)
+			if v < 0 {
+				t.Fatalf("k=%d: negative draw %v", k, v)
+			}
+			sum += v
+			sum2 += v * v
+			if v < med {
+				below++
+			}
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		fk := float64(k)
+		if tol := 5 * math.Sqrt(fk/n); math.Abs(mean-fk) > tol {
+			t.Errorf("k=%d: mean %v, want %v +- %v", k, mean, fk, tol)
+		}
+		if tol := 5 * math.Sqrt(2*fk*fk+4*fk) / math.Sqrt(n); math.Abs(variance-fk) > tol {
+			t.Errorf("k=%d: variance %v, want %v +- %v", k, variance, fk, tol)
+		}
+		if frac := float64(below) / n; math.Abs(frac-0.5) > 5*0.5/math.Sqrt(n) {
+			t.Errorf("k=%d: P(X < median) = %v, want 0.5", k, frac)
+		}
+	}
+}
+
+func TestErlangFloat64Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ErlangFloat64(r, 0) did not panic")
+		}
+	}()
+	ErlangFloat64(xrand.New(1), 0)
+}
+
+func BenchmarkErlangFloat64(b *testing.B) {
+	r := xrand.New(1)
+	acc := 0.0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acc += ErlangFloat64(r, 24)
+	}
+	_ = acc
+}
+
 func BenchmarkSampleNExponential(b *testing.B) {
 	d := NewExponential(0.1)
 	r := xrand.New(1)

@@ -94,6 +94,43 @@ func (g Gamma) SampleN(r *xrand.Source, dst []float64) {
 	}
 }
 
+// erlangMaxCached is the largest stage count whose Marsaglia-Tsang
+// constants are precomputed; ErlangFloat64 derives them on the fly
+// beyond it.
+const erlangMaxCached = 64
+
+// erlangD and erlangC hold mtConstants(k) for k in [2, erlangMaxCached].
+var erlangD, erlangC [erlangMaxCached + 1]float64
+
+func init() {
+	for k := 2; k <= erlangMaxCached; k++ {
+		erlangD[k], erlangC[k] = mtConstants(float64(k))
+	}
+}
+
+// ErlangFloat64 returns one Erlang(k, 1) variate — the sum of k
+// independent rate-1 exponential stages — in O(1) draws regardless of
+// k: one ziggurat exponential for k = 1, Marsaglia-Tsang rejection
+// off cached integer-shape constants otherwise. It is the
+// benign-cycle aggregation primitive of the memoryless simulation
+// kernels, which collapse k quiet repair cycles into a single elapsed
+// -time draw. It panics if k < 1.
+func ErlangFloat64(r *xrand.Source, k int) float64 {
+	if k <= 1 {
+		if k < 1 {
+			panic(fmt.Sprintf("dist: ErlangFloat64 stage count %d must be >= 1", k))
+		}
+		return r.ExpFloat64()
+	}
+	var d, c float64
+	if k <= erlangMaxCached {
+		d, c = erlangD[k], erlangC[k]
+	} else {
+		d, c = mtConstants(float64(k))
+	}
+	return mtDraw(r, d, c)
+}
+
 // mtDraw returns one Gamma(d+1/3, 1) variate by Marsaglia-Tsang
 // rejection: x standard normal, v = (1+cx)^3, accept d*v under the
 // squeeze or the exact log test.

@@ -416,7 +416,7 @@ func TestAdaptivePartition(t *testing.T) {
 	for _, tc := range []struct{ cap, floor, spw int }{
 		{1_000_000, 0, 8}, {1_000_000, 100_000, 4}, {2000, 0, 2}, {64, 0, 16}, {50_000, 50_000, 3},
 	} {
-		shards, waves := adaptivePartition(tc.cap, tc.floor, tc.spw)
+		shards, waves := adaptivePartition(tc.cap, tc.floor, tc.spw, nil)
 		cs := sim.CellSize(tc.cap)
 		cursor := 0
 		seen := 0
@@ -482,5 +482,99 @@ func TestAdaptiveTCPWorker(t *testing.T) {
 	}
 	if string(summaryBytes(t, got)) != string(summaryBytes(t, base)) {
 		t.Error("TCP adaptive summary diverged from the in-process baseline")
+	}
+}
+
+// TestAdaptivePartitionWeighted pins the speed-aware wave split: with
+// heterogeneous pool capacities, each wave's shards tile the same
+// canonical cells as the even split, sized proportionally to the
+// descending-sorted weights (largest shard first, so the greedy
+// min-id handout starts with the biggest piece).
+func TestAdaptivePartitionWeighted(t *testing.T) {
+	const cap = 1_000_000
+	weights := []int{1, 6, 3}
+	shards, waves := adaptivePartition(cap, 0, 3, weights)
+	even, _ := adaptivePartition(cap, 0, 3, nil)
+
+	// Same total tiling as the even split.
+	cursor := 0
+	for _, ids := range waves {
+		for _, id := range ids {
+			if shards[id].Start != cursor {
+				t.Fatalf("shard %d starts at %d, want %d", id, shards[id].Start, cursor)
+			}
+			cursor = shards[id].End
+		}
+	}
+	if cursor != cap {
+		t.Fatalf("weighted waves end at %d, want %d", cursor, cap)
+	}
+	if lastEven := even[len(even)-1].End; lastEven != cap {
+		t.Fatalf("even waves end at %d, want %d", lastEven, cap)
+	}
+
+	// Within a full-width wave the shard sizes follow the sorted
+	// weights 6:3:1 (to cell rounding), in descending order.
+	for wi, ids := range waves {
+		if len(ids) != 3 {
+			continue
+		}
+		sz := make([]int, len(ids))
+		total := 0
+		for i, id := range ids {
+			sz[i] = shards[id].End - shards[id].Start
+			total += sz[i]
+		}
+		if !(sz[0] >= sz[1] && sz[1] >= sz[2]) {
+			t.Errorf("wave %d shard sizes %v not descending", wi, sz)
+		}
+		// The largest share is 6/10 of the wave; allow one cell of
+		// integer rounding.
+		cs := sim.CellSize(cap)
+		if diff := sz[0] - total*6/10; diff < -cs || diff > cs {
+			t.Errorf("wave %d largest shard %d, want ~%d (weights 6:3:1)", wi, sz[0], total*6/10)
+		}
+	}
+
+	// Uniform weights fall back to the even split exactly.
+	uni, uw := adaptivePartition(cap, 0, 3, []int{2, 2, 2})
+	if len(uni) != len(even) || len(uw) != len(waves) {
+		t.Fatalf("uniform weights changed the plan: %d shards, want %d", len(uni), len(even))
+	}
+	for i := range uni {
+		if uni[i] != even[i] {
+			t.Fatalf("uniform weights shard %d = %+v, want %+v", i, uni[i], even[i])
+		}
+	}
+}
+
+// TestAdaptiveHeterogeneousPoolBitIdentical runs the adaptive run on a
+// capacity-skewed pool (a wide worker next to a narrow one): the wave
+// plan is capacity-proportional, and the Summary must stay
+// byte-identical to the in-process run — shard sizing may move work
+// between workers, never change the result.
+func TestAdaptiveHeterogeneousPoolBitIdentical(t *testing.T) {
+	for _, pol := range []sim.Policy{sim.Conventional, sim.AutoFailover} {
+		p := testParams(pol)
+		o := adaptiveOptions()
+		base, err := sim.Run(p, o)
+		if err != nil {
+			t.Fatalf("%v: baseline: %v", pol, err)
+		}
+		want := summaryBytes(t, base)
+		workers := []Worker{
+			NewInProcessWorker("wide", 3),
+			NewInProcessWorker("narrow", 1),
+		}
+		got, st, err := RunStats(Config{Params: p, Options: o, Workers: workers})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if g := summaryBytes(t, got); string(g) != string(want) {
+			t.Errorf("%v: heterogeneous-pool summary diverged\n got %s\nwant %s", pol, g, want)
+		}
+		if !st.StoppedEarly {
+			t.Errorf("%v: heterogeneous-pool run did not stop early", pol)
+		}
 	}
 }

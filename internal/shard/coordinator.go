@@ -128,11 +128,31 @@ func Partition(n, shards int) []sim.Range {
 // boundary is bounded by the prefix already proven necessary. Each
 // wave is split into at most shardsPerWave contiguous shards along the
 // cap run's canonical cells.
-func adaptivePartition(capIters, floorIters, shardsPerWave int) (shards []sim.Range, waves [][]int) {
+//
+// weights, when non-nil, are the pool slots' advertised capacities
+// (speed-aware wave sizing): each wave's cells are split proportionally
+// to them, sorted descending so the largest shard carries the lowest id
+// and is handed out first. A heterogeneous pool then finishes each wave
+// roughly together — shard sizes match throughput — while the merge
+// stays bit-identical, because shards still tile the same canonical
+// cells in the same order whatever the split. nil (or uniform) weights
+// reproduce the even split.
+func adaptivePartition(capIters, floorIters, shardsPerWave int, weights []int) (shards []sim.Range, waves [][]int) {
 	cells := sim.Cells(capIters)
 	cs := sim.CellSize(capIters)
 	if shardsPerWave < 1 {
 		shardsPerWave = 1
+	}
+	if len(weights) == shardsPerWave && shardsPerWave > 1 {
+		w := append([]int(nil), weights...)
+		sort.Sort(sort.Reverse(sort.IntSlice(w)))
+		if w[0] != w[len(w)-1] && w[len(w)-1] > 0 {
+			weights = w
+		} else {
+			weights = nil // uniform or degenerate: even split
+		}
+	} else {
+		weights = nil
 	}
 	first := shardsPerWave
 	if fc := (floorIters + cs - 1) / cs; fc > first {
@@ -155,9 +175,23 @@ func adaptivePartition(capIters, floorIters, shardsPerWave int) (shards []sim.Ra
 			k = n
 		}
 		ids := make([]int, 0, k)
+		wsum := 0
+		if weights != nil {
+			for _, wv := range weights[:k] {
+				wsum += wv
+			}
+		}
+		pref := 0
 		for s := 0; s < k; s++ {
-			lo := cum + s*n/k
-			hi := cum + (s+1)*n/k
+			var lo, hi int
+			if weights == nil {
+				lo = cum + s*n/k
+				hi = cum + (s+1)*n/k
+			} else {
+				lo = cum + pref*n/wsum
+				pref += weights[s]
+				hi = cum + pref*n/wsum
+			}
 			if lo == hi {
 				continue
 			}
@@ -168,6 +202,21 @@ func adaptivePartition(capIters, floorIters, shardsPerWave int) (shards []sim.Ra
 		cum = next
 	}
 	return shards, waves
+}
+
+// poolCapacities maps the initial worker pool to wave-sizing weights:
+// the advertised capacity where a worker reports one, one slot
+// otherwise.
+func poolCapacities(workers []Worker) []int {
+	caps := make([]int, 0, len(workers))
+	for _, w := range workers {
+		c := 1
+		if cr, ok := w.(CapacityReporter); ok && cr.Capacity() > 0 {
+			c = cr.Capacity()
+		}
+		caps = append(caps, c)
+	}
+	return caps
 }
 
 // Run executes the distributed run and returns its summary.
@@ -233,12 +282,12 @@ func RunPipelineSource(specs []RunSpec, workers []Worker, source <-chan Worker, 
 		done:       make(chan struct{}),
 	}
 	d.cond = sync.NewCond(&d.mu)
-	poolSize := len(workers)
-	if poolSize == 0 {
-		poolSize = 1
+	caps := poolCapacities(workers)
+	if len(caps) == 0 {
+		caps = []int{1}
 	}
 	for i := range specs {
-		r, err := newRunState(i, &specs[i], poolSize, logw)
+		r, err := newRunState(i, &specs[i], caps, logw)
 		if err != nil {
 			d.closeCheckpoints()
 			return out, err
@@ -349,8 +398,10 @@ type runState struct {
 }
 
 // newRunState validates and partitions one run, restoring its
-// checkpoint when configured.
-func newRunState(idx int, spec *RunSpec, poolSize int, logw io.Writer) (*runState, error) {
+// checkpoint when configured. caps are the initial pool's wave-sizing
+// weights (one entry per worker); an explicit spec.Shards overrides
+// both the count and the proportional split with even shards.
+func newRunState(idx int, spec *RunSpec, caps []int, logw io.Writer) (*runState, error) {
 	if err := spec.Params.Validate(); err != nil {
 		return nil, err
 	}
@@ -369,8 +420,10 @@ func newRunState(idx int, spec *RunSpec, poolSize int, logw io.Writer) (*runStat
 		capIters: spec.Options.IterationCap(),
 	}
 	shardCount := spec.Shards
+	weights := []int(nil)
 	if shardCount < 1 {
-		shardCount = poolSize
+		shardCount = len(caps)
+		weights = caps
 	}
 	if r.adaptive {
 		scan, err := sim.NewStopScan(spec.Options)
@@ -382,7 +435,7 @@ func newRunState(idx int, spec *RunSpec, poolSize int, logw io.Writer) (*runStat
 		if spec.Options.MaxIters > 0 {
 			floor = spec.Options.Iterations
 		}
-		r.shards, r.waves = adaptivePartition(r.capIters, floor, shardCount)
+		r.shards, r.waves = adaptivePartition(r.capIters, floor, shardCount, weights)
 	} else {
 		r.shards = Partition(spec.Options.Iterations, shardCount)
 		all := make([]int, len(r.shards))

@@ -257,6 +257,16 @@ type JobCanceler interface {
 	CancelJob(id int)
 }
 
+// CapacityReporter is an optional Worker facet: the worker's job
+// parallelism (a join-mode worker's hello advertisement, an in-process
+// worker's configured width). The coordinator uses it to size wave
+// shards proportionally, so a heterogeneous pool drains each wave
+// together instead of idling its fast members behind the slowest one.
+// Workers that return 0 (or lack the interface) count as one slot.
+type CapacityReporter interface {
+	Capacity() int
+}
+
 // ErrJobCancelled reports a job abandoned after a CancelJob request.
 // The worker remains usable.
 var ErrJobCancelled = errors.New("shard: job cancelled")
@@ -325,6 +335,16 @@ func newRemoteWorker(name string, t Transport, jobWorkers int) *remoteWorker {
 }
 
 func (w *remoteWorker) Name() string { return w.name }
+
+// Capacity reports the worker's advertised job parallelism: positive
+// jobWorkers came from its hello (join mode) or its spawner; 0 and -1
+// (all cores / job's own setting) advertise nothing.
+func (w *remoteWorker) Capacity() int {
+	if w.jobWorkers > 0 {
+		return w.jobWorkers
+	}
+	return 0
+}
 
 // PipelineDepth keeps two jobs in flight per connection: while one
 // executes remotely the next is already queued in the worker's
@@ -466,6 +486,9 @@ func NewInProcessWorker(name string, workers int) Worker {
 }
 
 func (w *inProcessWorker) Name() string { return w.name }
+
+// Capacity reports the worker's configured parallelism.
+func (w *inProcessWorker) Capacity() int { return w.workers }
 
 func (w *inProcessWorker) Run(job *Job) ([]sim.Partial, error) {
 	j := *job

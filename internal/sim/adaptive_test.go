@@ -123,8 +123,11 @@ func TestAdaptivePaperConfigStopsEarly(t *testing.T) {
 	}
 	// The stopping boundary is a pure function of (params, options);
 	// pin it so a silent change to the scan or rule shows up here.
-	if s.Iterations != 144559 {
-		t.Errorf("stopped at %d iterations, want the pinned 144559", s.Iterations)
+	// (The value moves when a kernel's draw sequence is deliberately
+	// restructured — realization changes are seed-like — most recently
+	// for the batched memoryless kernels.)
+	if s.Iterations != 179722 {
+		t.Errorf("stopped at %d iterations, want the pinned 179722", s.Iterations)
 	}
 }
 

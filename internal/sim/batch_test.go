@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBatchedMatchesUnbatchedCI cross-validates the batching
+// transforms statistically: a batched run and its unbatched reference
+// (Options.noBatch) consume the per-iteration streams differently, so
+// they are distinct exact realizations of the same process — their
+// confidence intervals must overlap. Run at 1e5 iterations per
+// policy x kernel so the intervals are tight enough to catch a
+// distributional bug in the refill buffers, the Erlang benign-cycle
+// aggregation, or the censored geometric skip counters.
+func TestBatchedMatchesUnbatchedCI(t *testing.T) {
+	for _, pol := range policies {
+		for _, kern := range []Kernel{KernelGeneric, KernelMemoryless} {
+			p := paramsFor(pol)
+			o := Options{Iterations: 100000, MissionTime: 1e6, Seed: 12, Workers: 0, Kernel: kern}
+			batched, err := Run(p, o)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", pol, kern, err)
+			}
+			o.noBatch = true
+			plain, err := Run(p, o)
+			if err != nil {
+				t.Fatalf("%v/%v noBatch: %v", pol, kern, err)
+			}
+			gap := math.Abs(batched.Availability - plain.Availability)
+			if lim := batched.HalfWidth + plain.HalfWidth; gap > lim {
+				t.Errorf("%v/%v: batched %.12f vs unbatched %.12f differ by %g, beyond the summed 99%% half-widths %g",
+					pol, kern, batched.Availability, plain.Availability, gap, lim)
+			}
+			// The generic walkers have no batching transforms to
+			// disable; there the reference must be bit-identical.
+			if kern == KernelGeneric && batched != plain {
+				t.Errorf("%v/%v: noBatch changed the generic realization:\n%+v\n%+v",
+					pol, kern, batched, plain)
+			}
+		}
+	}
+}
+
+// TestIterationReplayCrossesRefillBoundaries pins the refill-buffer
+// isolation contract: an iteration's realization depends only on
+// (seed, iteration), never on how many buffered variates a previous
+// iteration left behind. A warm scratch — whose expBuf sits at an
+// arbitrary mid-buffer position after each iteration — must reproduce
+// exactly what a cold scratch draws for the same iteration. At these
+// parameters an iteration consumes hundreds of exponentials, so every
+// lifetime crosses many expBufLen-sized refills.
+func TestIterationReplayCrossesRefillBoundaries(t *testing.T) {
+	const seed, mission = 99, 1e6
+	for _, pol := range policies {
+		p := paramsFor(pol)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		warm := newScratch(&p, KernelMemoryless, false)
+		for it := 0; it < 60; it++ {
+			got := warm.iterate(seed, it, mission)
+			cold := newScratch(&p, KernelMemoryless, false)
+			if want := cold.iterate(seed, it, mission); got != want {
+				t.Fatalf("%v: iteration %d differs warm vs cold:\n%+v\n%+v", pol, it, got, want)
+			}
+		}
+	}
+}
+
+// TestScheduleIndependenceBatched repeats the schedule contract at
+// paper mission scale, where the batched walkers refill the
+// exponential buffer dozens of times per iteration and the
+// benign-cycle aggregation runs multi-chunk tails: worker count must
+// not change a single drawn lifetime.
+func TestScheduleIndependenceBatched(t *testing.T) {
+	for _, pol := range policies {
+		p := paramsFor(pol)
+		base := Options{Iterations: 300, MissionTime: 1e6, Seed: 8, Workers: 1, Kernel: KernelMemoryless}
+		ref, err := Run(p, base)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		for _, workers := range []int{2, 5} {
+			o := base
+			o.Workers = workers
+			got, err := Run(p, o)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", pol, workers, err)
+			}
+			if got.Events != ref.Events {
+				t.Errorf("%v: events changed with workers=%d:\n%+v\n%+v",
+					pol, workers, ref.Events, got.Events)
+			}
+			if d := math.Abs(got.Availability - ref.Availability); d > 1e-12 {
+				t.Errorf("%v: availability drifted %g with workers=%d", pol, d, workers)
+			}
+		}
+	}
+}

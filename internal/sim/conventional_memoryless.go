@@ -35,6 +35,8 @@ type convMemK struct {
 	invOP    float64 // 1/(n*lambda): all members up
 	invEXP   float64 // 1/(muDF + (n-1)*lambda): repair vs second failure
 	pFailEXP float64 // probability the second failure wins that race
+	raceInv  float64 // geomInv(pFailEXP): the race's skip-draw divisor
+	raceQCap float64 // geomQCap(pFailEXP): its censoring threshold
 	totDU    float64 // muHE + crash + (n-2)*lambda: the DU race
 	invDU    float64
 	cutDU1   float64 // undo-attempt share
@@ -46,10 +48,13 @@ func makeConvMemK(p *ArrayParams, m memRates) convMemK {
 	n := float64(p.Disks)
 	totEXP := m.muDF + (n-1)*m.lambda
 	totDU := m.muHE + p.CrashRate + (n-2)*m.lambda
+	pFail := (n - 1) * m.lambda / totEXP
 	return convMemK{
 		invOP:    inv(n * m.lambda),
 		invEXP:   inv(totEXP),
-		pFailEXP: (n - 1) * m.lambda / totEXP,
+		pFailEXP: pFail,
+		raceInv:  geomInv(pFail),
+		raceQCap: geomQCap(pFail),
 		totDU:    totDU,
 		invDU:    inv(totDU),
 		cutDU1:   m.muHE,
@@ -76,88 +81,144 @@ func (sc *scratch) conventionalMemoryless(mission float64) iterStats {
 	// cycle costs two exponential draws and two decrements; both die
 	// with the iteration, keeping iterations independent.
 	raceGap, hepGap := -1, -1
+	raceExact, hepExact := false, false
+
+	// Benign-cycle aggregation: min(raceGap, hepGap) cycles are known
+	// to be quiet — one failure, one clean repair, nothing else — so
+	// their elapsed time collapses to two Erlang draws per chunk (the
+	// sum of c iid holds per phase) instead of 2c exponentials.
+	// cycleRate sizes chunks at the expected cycles remaining; 0
+	// disables aggregation (noBatch reference, or a degenerate
+	// failure rate whose first hold is infinite).
+	cycleRate := 0.0
+	if !sc.noBatch && k.invOP > 0 {
+		cycleRate = 1 / (k.invOP + k.invEXP)
+	}
 
 	for t < mission {
-		// All members up; hold for the first failure.
-		t += r.ExpFloat64() * k.invOP
-		if t >= mission {
-			break
+		if cycleRate > 0 {
+			if raceGap < 0 || (raceGap == 0 && !raceExact) {
+				raceGap, raceExact = drawGeomGap(r, k.raceInv, k.raceQCap)
+			}
+			if hepGap < 0 || (hepGap == 0 && !hepExact) {
+				hepGap, hepExact = drawGeomGap(r, sc.hepInv, sc.hepQCap)
+			}
+			for {
+				c := quietChunk((mission-t)*cycleRate, raceGap, hepGap, math.MaxInt)
+				if c == 0 {
+					break
+				}
+				opSum := sc.erlangChunk(c, k.invOP)
+				exSum := sc.erlangChunk(c, k.invEXP)
+				if t+opSum+exSum >= mission {
+					sc.resolveChunk2(&st, t, mission, c, opSum, exSum)
+					return st
+				}
+				t += opSum + exSum
+				st.events.Failures += int64(c)
+				raceGap -= c
+				hepGap -= c
+			}
 		}
-		st.events.Failures++
 
-		// Exposed: replacement service races a second member failure.
-		dt := r.ExpFloat64() * k.invEXP
-		if t+dt >= mission {
-			break // exposed is up; mission ends first
-		}
-		t += dt
-		if raceGap < 0 {
-			raceGap = drawGeomGap(r, k.pFailEXP)
-		}
-		if raceGap == 0 {
-			// Double disk failure: data loss, restore from backup.
-			raceGap = -1
-			st.events.Failures++
-			st.events.DoubleFailures++
-			t = sc.memDataLoss(&st, t, mission, k.invTape)
-			continue
-		}
-		raceGap--
-		if hepGap < 0 {
-			hepGap = sc.drawHEPGap(r)
-		}
-		if hepGap != 0 {
-			hepGap-- // correct replacement; the array is whole again
-			continue
-		}
-		hepGap = -1
-
-		// Wrong disk replacement: unavailable until the error is
-		// undone; meanwhile the pulled disk may crash and the n-2
-		// untouched members may fail.
-		st.events.HumanErrors++
-		duStart := t
+		// Quiet tail: the chunk loop stopped because the expected
+		// cycles remaining shrank below aggMin or a counter is about
+		// to fire, so walk cycles individually. Elapsed time only
+		// grows and the counters only decrement, so re-sizing a chunk
+		// is pointless until an event (or a censored counter running
+		// out) resets a skip counter — those paths break back to the
+		// outer loop; plain quiet cycles stay in this inner loop, off
+		// the chunk-sizing arithmetic.
 		for {
-			dt := r.ExpFloat64() * k.invDU
+			redrawn := false
+
+			// All members up; hold for the first failure.
+			t += sc.expNext() * k.invOP
+			if t >= mission {
+				return st
+			}
+			st.events.Failures++
+
+			// Exposed: replacement service races a second member failure.
+			dt := sc.expNext() * k.invEXP
 			if t+dt >= mission {
-				st.downDU += mission - duStart
-				t = mission
-				break
+				return st // exposed is up; mission ends first
 			}
 			t += dt
-			u := r.Float64() * k.totDU
-			if u < k.cutDU1 {
-				st.events.UndoAttempts++
-				if hepGap < 0 {
-					hepGap = sc.drawHEPGap(r)
-				}
-				if hepGap == 0 {
-					// The undo itself went wrong; array stays DU.
-					hepGap = -1
-					st.events.HumanErrors++
-					continue
-				}
-				hepGap--
-				// Error undone; optionally restore consistency from
-				// backup before coming back up.
-				end := t
-				if p.ResyncAfterUndo {
-					end += r.ExpFloat64() * k.invTape
-				}
-				st.downDU += math.Min(end, mission) - duStart
-				t = end
-				break
+			if raceGap < 0 || (raceGap == 0 && !raceExact) {
+				raceGap, raceExact = drawGeomGap(r, k.raceInv, k.raceQCap)
+				redrawn = true
 			}
-			st.downDU += t - duStart
-			if u < k.cutDU2 {
-				// The wrongly removed disk crashed while out.
-				st.events.Crashes++
-			} else {
-				// A further member failed while unavailable.
+			if raceGap == 0 {
+				// Double disk failure: data loss, restore from backup.
+				raceGap = -1
 				st.events.Failures++
 				st.events.DoubleFailures++
+				t = sc.memDataLoss(&st, t, mission, k.invTape)
+				break
 			}
-			t = sc.memDataLoss(&st, t, mission, k.invTape)
+			raceGap--
+			if hepGap < 0 || (hepGap == 0 && !hepExact) {
+				hepGap, hepExact = drawGeomGap(r, sc.hepInv, sc.hepQCap)
+				redrawn = true
+			}
+			if hepGap != 0 {
+				hepGap-- // correct replacement; the array is whole again
+				if redrawn {
+					break // fresh counter: aggregation may pay again
+				}
+				continue
+			}
+			hepGap = -1
+
+			// Wrong disk replacement: unavailable until the error is
+			// undone; meanwhile the pulled disk may crash and the n-2
+			// untouched members may fail.
+			st.events.HumanErrors++
+			duStart := t
+			for {
+				dt := sc.expNext() * k.invDU
+				if t+dt >= mission {
+					st.downDU += mission - duStart
+					t = mission
+					break
+				}
+				t += dt
+				u := r.Float64() * k.totDU
+				if u < k.cutDU1 {
+					st.events.UndoAttempts++
+					if hepGap < 0 || (hepGap == 0 && !hepExact) {
+						hepGap, hepExact = drawGeomGap(r, sc.hepInv, sc.hepQCap)
+					}
+					if hepGap == 0 {
+						// The undo itself went wrong; array stays DU.
+						hepGap = -1
+						st.events.HumanErrors++
+						continue
+					}
+					hepGap--
+					// Error undone; optionally restore consistency from
+					// backup before coming back up.
+					end := t
+					if p.ResyncAfterUndo {
+						end += sc.expNext() * k.invTape
+					}
+					st.downDU += math.Min(end, mission) - duStart
+					t = end
+					break
+				}
+				st.downDU += t - duStart
+				if u < k.cutDU2 {
+					// The wrongly removed disk crashed while out.
+					st.events.Crashes++
+				} else {
+					// A further member failed while unavailable.
+					st.events.Failures++
+					st.events.DoubleFailures++
+				}
+				t = sc.memDataLoss(&st, t, mission, k.invTape)
+				break
+			}
 			break
 		}
 	}
@@ -171,7 +232,7 @@ func (sc *scratch) conventionalMemoryless(mission float64) iterStats {
 // DL --muDDF--> OP semantics (see the file comment for how this
 // differs, in the second order, from the clock walkers' dataLoss).
 func (sc *scratch) memDataLoss(st *iterStats, start, mission, invTape float64) float64 {
-	end := start + sc.src.ExpFloat64()*invTape
+	end := start + sc.expNext()*invTape
 	st.downDL += math.Min(end, mission) - start
 	return end
 }

@@ -9,9 +9,11 @@ import "math"
 type dpMemK struct {
 	invOP float64 // n*lambda: fully redundant
 
-	totE1 float64 // muDF + (n-1)*lambda: exposed-1 service vs failure
-	invE1 float64
-	cutE1 float64 // failure share
+	totE1   float64 // muDF + (n-1)*lambda: exposed-1 service vs failure
+	invE1   float64
+	cutE1   float64 // failure share
+	gapInv  float64 // geomInv of the failure-beats-service probability
+	gapQCap float64 // its censoring threshold
 
 	totE2 float64 // muDF + (n-2)*lambda: exposed-2 service vs failure
 	invE2 float64
@@ -33,6 +35,8 @@ func makeDpMemK(p *ArrayParams, m memRates) dpMemK {
 	k.totE1 = m.muDF + (n-1)*m.lambda
 	k.invE1 = inv(k.totE1)
 	k.cutE1 = (n - 1) * m.lambda
+	k.gapInv = geomInv(k.cutE1 * k.invE1)
+	k.gapQCap = geomQCap(k.cutE1 * k.invE1)
 
 	k.totE2 = m.muDF + (n-2)*m.lambda
 	k.invE2 = inv(k.totE2)
@@ -59,12 +63,49 @@ func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
 	var st iterStats
 	t := 0.0
 	missing := 0
+	// gap1 skip-samples the exposed-1 race: repair-wins remaining
+	// before a second failure beats the service (see
+	// conventionalMemoryless's raceGap).
+	gap1 := -1
+	exact1 := false
+
+	cycleRate := 0.0
+	if !sc.noBatch && k.invOP > 0 {
+		cycleRate = 1 / (k.invOP + k.invE1)
+	}
 
 	for t < mission {
 		switch missing {
 		case 0:
+			if cycleRate > 0 {
+				// Benign-cycle aggregation: min(gap1, hepGap) quiet
+				// failure-repair cycles collapse into two-Erlang chunks
+				// (see conventionalMemoryless).
+				if gap1 < 0 || (gap1 == 0 && !exact1) {
+					gap1, exact1 = drawGeomGap(r, k.gapInv, k.gapQCap)
+				}
+				if sc.hepGap < 0 || (sc.hepGap == 0 && !sc.hepExact) {
+					sc.drawHEPGap(r)
+				}
+				for {
+					c := quietChunk((mission-t)*cycleRate, gap1, sc.hepGap, math.MaxInt)
+					if c == 0 {
+						break
+					}
+					opSum := sc.erlangChunk(c, k.invOP)
+					e1Sum := sc.erlangChunk(c, k.invE1)
+					if t+opSum+e1Sum >= mission {
+						sc.resolveChunk2(&st, t, mission, c, opSum, e1Sum)
+						return st
+					}
+					t += opSum + e1Sum
+					st.events.Failures += int64(c)
+					gap1 -= c
+					sc.hepGap -= c
+				}
+			}
 			// Fully redundant: wait for the first failure.
-			t += r.ExpFloat64() * k.invOP
+			t += sc.expNext() * k.invOP
 			if t >= mission {
 				return st
 			}
@@ -73,16 +114,21 @@ func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
 
 		case 1:
 			// Exposed-1: repair service races a second failure.
-			dt := r.ExpFloat64() * k.invE1
+			dt := sc.expNext() * k.invE1
 			if t+dt >= mission {
 				return st
 			}
 			t += dt
-			if r.Float64()*k.totE1 < k.cutE1 {
+			if gap1 < 0 || (gap1 == 0 && !exact1) {
+				gap1, exact1 = drawGeomGap(r, k.gapInv, k.gapQCap)
+			}
+			if gap1 == 0 {
+				gap1 = -1
 				st.events.Failures++
 				missing = 2
 				continue
 			}
+			gap1--
 			if !sc.hepTrial(r) {
 				missing = 0
 				continue
@@ -94,7 +140,7 @@ func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
 
 		default:
 			// Exposed-2 (up, critical): repair races a third loss.
-			dt := r.ExpFloat64() * k.invE2
+			dt := sc.expNext() * k.invE2
 			if t+dt >= mission {
 				return st
 			}
@@ -116,7 +162,7 @@ func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
 			st.events.HumanErrors++
 			duStart := t
 			for {
-				dt := r.ExpFloat64() * k.invDU
+				dt := sc.expNext() * k.invDU
 				if t+dt >= mission {
 					st.downDU += mission - duStart
 					return st
@@ -133,7 +179,7 @@ func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
 					// returns to exposed-2, unless the resync policy
 					// restores everything.
 					if p.ResyncAfterUndo {
-						end := t + r.ExpFloat64()*k.invTape
+						end := t + sc.expNext()*k.invTape
 						st.downDU += math.Min(end, mission) - duStart
 						t = end
 						missing = 0

@@ -130,6 +130,23 @@ func resolveKernel(p *ArrayParams, k Kernel) (memRates, bool, error) {
 	}
 }
 
+const (
+	// expBufLen is the refill granularity of the scratch's rate-1
+	// exponential buffer: small enough that the draws left unread at
+	// iteration end (the buffer never carries across iterations) stay
+	// cheap — with aggregation, an iteration's individual cycles only
+	// need a handful — large enough to amortize ExpFloat64N's
+	// batching win.
+	expBufLen = 8
+
+	// aggMin and aggMax bound benign-cycle aggregation chunks: below
+	// aggMin cycles the Erlang draws stop paying for themselves and
+	// the walkers fall back to individual cycles; aggMax matches the
+	// stage counts dist.ErlangFloat64 has cached constants for.
+	aggMin = 2
+	aggMax = 64
+)
+
 // scratch is one worker's reusable simulation state: the failure-clock
 // slice, an in-place reseedable stream, the resolved samplers and the
 // kernel choice. Allocated once per worker, it makes the per-iteration
@@ -139,11 +156,26 @@ type scratch struct {
 	src  xrand.Source
 	fail []float64
 
+	// expPos indexes the first unread variate of expBuf (the buffer
+	// itself lives at the end of the struct, keeping the hot scalar
+	// fields on few cache lines). noBatch (test-only, from Options)
+	// bypasses both the refill buffer and benign-cycle aggregation,
+	// giving the unbatched reference realization.
+	expPos  int
+	noBatch bool
+
 	// hepGap counts the human-error Bernoulli(HEP) trials remaining
 	// before the next error fires (geometric skip sampling: one log
 	// draw per error instead of one uniform per trial). -1 means not
 	// drawn yet; iterate resets it so iterations stay independent.
-	hepGap int
+	// hepExact records whether the current value is a materialized gap
+	// or a censored horizon (see drawGeomGap); hepInv and hepQCap are
+	// the trial probability's precomputed geomInv divisor and
+	// censoring threshold.
+	hepGap   int
+	hepExact bool
+	hepInv   float64
+	hepQCap  float64
 
 	ttf, repair, tape, herec, rebuild, swap sampler
 
@@ -165,26 +197,39 @@ type scratch struct {
 	scanOK         bool
 	scanI1, scanI2 int
 	scanT1, scanT2 float64
+
+	// expBuf[expPos:] holds rate-1 exponentials not yet handed out;
+	// refills draw from the iteration's stream (ExpFloat64N), and
+	// iterate marks the buffer empty at each reseed, so buffered draws
+	// remain a pure function of (seed, iteration) — the buffer is
+	// logically part of the iteration's stream, never shared across
+	// iterations.
+	expBuf [expBufLen]float64
+
+	// aggA/aggB/aggC are the per-phase stage scratch of the censored
+	// chunk resolution (resolveChunk2/resolveChunk3), sized to the
+	// largest aggregation chunk. Cold: touched at most once per
+	// iteration, at mission end.
+	aggA, aggB, aggC [aggMax]float64
 }
 
 // newScratch builds a worker's scratch for the given kernel request.
 // Kernel feasibility must have been checked beforehand (resolveKernel
 // in RunRange); an infeasible forced request falls back to the generic
 // walker here.
-func newScratch(p *ArrayParams, k Kernel) *scratch {
+func newScratch(p *ArrayParams, k Kernel, noBatch bool) *scratch {
 	sc := &scratch{
 		p:         p,
-		fail:      make([]float64, p.Disks),
-		ttf:       newSampler(p.TTF),
-		repair:    newSampler(p.Repair),
-		tape:      newSampler(p.TapeRestore),
-		herec:     newSampler(p.HERecovery),
-		rebuild:   newSampler(p.SpareRebuild),
-		swap:      newSampler(p.SpareSwap),
+		noBatch:   noBatch,
 		crashInv:  inv(p.CrashRate),
 		crash2Inv: inv(2 * p.CrashRate),
+		hepInv:    geomInv(p.HEP),
+		hepQCap:   geomQCap(p.HEP),
 	}
 	if m, ok, err := resolveKernel(p, k); err == nil && ok {
+		// The rate-based walkers never touch the failure clocks or the
+		// law samplers; skipping their construction keeps short ranges
+		// (adaptive probes, benchmark cells) off that setup cost.
 		sc.memoryless = true
 		switch p.Policy {
 		case AutoFailover:
@@ -194,7 +239,15 @@ func newScratch(p *ArrayParams, k Kernel) *scratch {
 		default:
 			sc.convK = makeConvMemK(p, m)
 		}
+		return sc
 	}
+	sc.fail = make([]float64, p.Disks)
+	sc.ttf = newSampler(p.TTF)
+	sc.repair = newSampler(p.Repair)
+	sc.tape = newSampler(p.TapeRestore)
+	sc.herec = newSampler(p.HERecovery)
+	sc.rebuild = newSampler(p.SpareRebuild)
+	sc.swap = newSampler(p.SpareSwap)
 	return sc
 }
 
@@ -206,6 +259,7 @@ func newScratch(p *ArrayParams, k Kernel) *scratch {
 func (sc *scratch) iterate(seed uint64, it int, mission float64) iterStats {
 	sc.src.SeedStream(seed, uint64(it))
 	sc.hepGap = -1
+	sc.expPos = expBufLen // discard buffered draws of the previous iteration
 	if sc.memoryless {
 		switch sc.p.Policy {
 		case AutoFailover:
@@ -265,10 +319,13 @@ func (sc *scratch) cachedNextFailure(now float64, ex int) (int, float64) {
 // an error. The trials are iid Bernoulli(HEP), realized by geometric
 // gap sampling: the number of error-free trials before the next error
 // is drawn once (floor(ln U / ln(1-hep))) and then counted down, which
-// replaces one uniform per service with one logarithm per error.
+// replaces one uniform per service with one logarithm per error. A
+// censored counter that runs out is redrawn instead of firing (see
+// drawGeomGap); the fresh draw never returns a censored 0, so one
+// redraw settles the trial.
 func (sc *scratch) hepTrial(r *xrand.Source) bool {
-	if sc.hepGap < 0 {
-		sc.hepGap = sc.drawHEPGap(r)
+	if sc.hepGap < 0 || (sc.hepGap == 0 && !sc.hepExact) {
+		sc.drawHEPGap(r)
 	}
 	if sc.hepGap == 0 {
 		sc.hepGap = -1 // error fires; redraw before the next trial
@@ -279,27 +336,210 @@ func (sc *scratch) hepTrial(r *xrand.Source) bool {
 }
 
 // drawHEPGap draws the geometric number of error-free trials before
-// the next human error. HEP 0 never errs (the counter never runs out
-// within a mission), HEP 1 always errs; neither consumes randomness,
-// matching Bernoulli's edge behavior.
-func (sc *scratch) drawHEPGap(r *xrand.Source) int {
-	return drawGeomGap(r, sc.p.HEP)
+// the next human error into sc.hepGap/sc.hepExact. HEP 0 never errs
+// (the counter never runs out within a mission), HEP 1 always errs;
+// neither consumes randomness, matching Bernoulli's edge behavior.
+func (sc *scratch) drawHEPGap(r *xrand.Source) {
+	sc.hepGap, sc.hepExact = drawGeomGap(r, sc.hepInv, sc.hepQCap)
+}
+
+// geomInv precomputes drawGeomGap's divisor as a reciprocal,
+// 1/ln(1-p): a negative normal for 0 < p < 1, -0 for p >= 1 and +Inf
+// for p <= 0 (both sentinels drawGeomGap resolves without touching
+// the stream). Resolving it once with the kernel constants removes a
+// log1p and a division from every geometric draw.
+func geomInv(p float64) float64 {
+	if p <= 0 {
+		return plusInf
+	}
+	if p >= 1 {
+		return math.Copysign(0, -1)
+	}
+	return 1 / math.Log1p(-p)
+}
+
+// gapCap is the censoring horizon of drawGeomGap: a counter is
+// materialized exactly only when it falls short of gapCap trials, and
+// reported as a censored gapCap otherwise. It must be at least aggMax
+// so a censored counter never constrains a quiet chunk.
+const gapCap = aggMax
+
+// geomQCap precomputes the censoring threshold P(gap >= gapCap) =
+// (1-p)^gapCap that drawGeomGap tests its uniform against. Only
+// consulted for 0 < p < 1 (geomInv's sentinels bypass the draw).
+func geomQCap(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return math.Exp(float64(gapCap) * math.Log1p(-p))
 }
 
 // drawGeomGap draws the geometric number of failures before the next
-// success of an iid Bernoulli(p) sequence: floor(ln U / ln(1-p)).
-// p <= 0 never succeeds (MaxInt outlives any mission), p >= 1 always
-// does; neither consumes randomness. Beyond the human-error trials,
-// the memoryless kernels use it to skip-sample rare race winners: in
-// a CTMC the winner of a state's exit race is an iid Bernoulli draw
-// independent of the holding times, so one logarithm per rare outcome
-// replaces one uniform per visit.
-func drawGeomGap(r *xrand.Source, p float64) int {
-	if p <= 0 {
-		return math.MaxInt
+// success of an iid Bernoulli(p) sequence — floor(ln U / ln(1-p)) —
+// taking the divisor as the precomputed reciprocal invLn = geomInv(p)
+// and the censoring threshold qCap = geomQCap(p). p <= 0 (invLn +Inf)
+// never succeeds (MaxInt outlives any mission), p >= 1 (invLn -0)
+// always does; neither consumes randomness.
+//
+// The draw is censored at gapCap: when the uniform lands at or below
+// qCap — the gap is at least gapCap — it returns (gapCap, false)
+// without computing the logarithm. By memorylessness the excess over
+// gapCap is again geometric, so a consumer that exhausts a censored
+// counter redraws it fresh instead of firing the event; a censored
+// draw never returns 0, so one redraw settles the decision. For the
+// rare race outcomes the kernels skip-sample (p of 1e-3 and below,
+// censored ~94% of the time) this reduces the draw to one uniform and
+// one compare. Beyond the human-error trials, the memoryless kernels
+// use it for exactly those races: in a CTMC the winner of a state's
+// exit race is an iid Bernoulli draw independent of the holding
+// times.
+func drawGeomGap(r *xrand.Source, invLn, qCap float64) (gap int, exact bool) {
+	if invLn >= 0 { // the sentinels: +Inf (never) and -0 (always)
+		if invLn > 0 {
+			return math.MaxInt, true
+		}
+		return 0, true
 	}
-	if p >= 1 {
+	u := r.OpenFloat64()
+	if u <= qCap {
+		return gapCap, false
+	}
+	return int(math.Log(u) * invLn), true
+}
+
+// expNext returns the next rate-1 exponential of the iteration's
+// stream, refilled through the buffer in expBufLen batches (see the
+// expBuf field comment). Under noBatch it draws directly, giving the
+// unbatched reference realization.
+func (sc *scratch) expNext() float64 {
+	if sc.noBatch {
+		return sc.src.ExpFloat64()
+	}
+	if sc.expPos == expBufLen {
+		sc.src.ExpFloat64N(sc.expBuf[:])
+		sc.expPos = 0
+	}
+	v := sc.expBuf[sc.expPos]
+	sc.expPos++
+	return v
+}
+
+// expB is expInv off the buffered stream: an exponential variate for
+// the precomputed inverse rate, +Inf when the event never fires.
+func (sc *scratch) expB(invRate float64) float64 {
+	if invRate <= 0 {
+		return plusInf
+	}
+	return sc.expNext() * invRate
+}
+
+// aggSmall is the chunk size up to which erlangChunk sums buffered
+// exponentials instead of paying dist.ErlangFloat64's rejection
+// constant: c buffered draws undercut one rejection draw while
+// c*~3ns stays below mtDraw's ~18ns.
+const aggSmall = 1
+
+// erlangChunk draws one Erlang(c) variate scaled by invRate — the
+// elapsed time of c aggregated same-phase holds. Small chunks sum off
+// the refill buffer; larger ones use dist.ErlangFloat64's O(1) draw.
+func (sc *scratch) erlangChunk(c int, invRate float64) float64 {
+	if c <= aggSmall {
+		s := sc.expNext()
+		for i := 1; i < c; i++ {
+			s += sc.expNext()
+		}
+		return s * invRate
+	}
+	return dist.ErlangFloat64(&sc.src, c) * invRate
+}
+
+// quietChunk sizes the next benign-cycle aggregation chunk: 3/4 of
+// the expected cycles left in the mission — large enough to collapse
+// most of the mission in a couple of chunks, small enough that chunks
+// rarely straddle mission end (an exact but cycle-by-cycle resolution,
+// resolveChunk2/3) — bounded by the quiet cycles the skip counters
+// guarantee and by the cached Erlang constants. 0 means aggregation
+// stops paying and the caller walks cycles individually.
+func quietChunk(expCycles float64, g1, g2, g3 int) int {
+	c := int(expCycles * 0.75)
+	if c > aggMax {
+		c = aggMax
+	}
+	if g1 < c {
+		c = g1
+	}
+	if g2 < c {
+		c = g2
+	}
+	if g3 < c {
+		c = g3
+	}
+	if c < aggMin {
 		return 0
 	}
-	return int(math.Log(r.OpenFloat64()) / math.Log1p(-p))
+	return c
+}
+
+// resolveChunk2 finishes an iteration whose aggregated chunk of c
+// two-phase benign cycles (per-cycle holds aTot-phase then bTot-phase)
+// straddles mission end. Conditioned on an Erlang total, the
+// individual stage holds are the total split proportionally to fresh
+// iid rate-1 exponentials (the Dirichlet(1,...,1) representation of
+// uniform order-statistic spacings), so the walk below replays the
+// chunk cycle by cycle and counts the member failures — one per
+// completed first-phase hold — that precede mission end, exactly as
+// the unaggregated walk would. The array is up throughout a benign
+// cycle, so no downtime accrues, and the iteration ends inside the
+// chunk by construction.
+func (sc *scratch) resolveChunk2(st *iterStats, t, mission float64, c int, aTot, bTot float64) {
+	a, b := sc.aggA[:c], sc.aggB[:c]
+	sc.src.ExpFloat64N(a)
+	sc.src.ExpFloat64N(b)
+	sumA, sumB := 0.0, 0.0
+	for i := 0; i < c; i++ {
+		sumA += a[i]
+		sumB += b[i]
+	}
+	sa, sb := aTot/sumA, bTot/sumB
+	for i := 0; i < c; i++ {
+		t += a[i] * sa
+		if t >= mission {
+			return
+		}
+		st.events.Failures++
+		t += b[i] * sb
+		if t >= mission {
+			return
+		}
+	}
+	// Unreachable up to floating-point rounding of the prefix sums;
+	// landing here means the mission boundary fell within rounding of
+	// the chunk's end, with every cycle complete.
+}
+
+// resolveChunk3 is resolveChunk2 for the fail-over policy's
+// three-phase benign cycle (OP hold, then rebuild, then swap).
+func (sc *scratch) resolveChunk3(st *iterStats, t, mission float64, c int, aTot, bTot, cTot float64) {
+	a, b, d := sc.aggA[:c], sc.aggB[:c], sc.aggC[:c]
+	sc.src.ExpFloat64N(a)
+	sc.src.ExpFloat64N(b)
+	sc.src.ExpFloat64N(d)
+	sumA, sumB, sumD := 0.0, 0.0, 0.0
+	for i := 0; i < c; i++ {
+		sumA += a[i]
+		sumB += b[i]
+		sumD += d[i]
+	}
+	sa, sb, sd := aTot/sumA, bTot/sumB, cTot/sumD
+	for i := 0; i < c; i++ {
+		t += a[i] * sa
+		if t >= mission {
+			return
+		}
+		st.events.Failures++
+		t += b[i]*sb + d[i]*sd
+		if t >= mission {
+			return
+		}
+	}
 }

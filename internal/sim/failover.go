@@ -1,7 +1,5 @@
 package sim
 
-import "math"
-
 // foPhase enumerates the automatic fail-over state machine phases,
 // mirroring the paper's Fig. 3 states (the with-spare unavailable
 // variants DU1/DU2/EXP2 arise there only through service branches the
@@ -45,40 +43,85 @@ func (sc *scratch) failover(mission float64) iterStats {
 	for t < mission {
 		switch phase {
 		case phOP:
-			idx, tFail := sc.cachedNextFailure(t, noDisk)
-			if tFail >= mission {
-				return st
-			}
-			st.events.Failures++
-			fi, t, phase = idx, tFail, phEXP1
-
-		case phEXP1:
-			// On-line rebuild onto the hot spare; no human involved.
-			rebEnd := t + sc.rebuild.sample(r)
-			si, tSecond := sc.cachedNextFailure(t, fi)
-			if math.Min(rebEnd, tSecond) >= mission {
-				return st // exposed but up
-			}
-			if tSecond < rebEnd {
+			// Phase-fused benign cycle: OP -> EXP1 -> OPns -> OP is by
+			// far the dominant path, so it runs in one loop with no
+			// phase dispatch between its stages. Exponential holding
+			// times inline (the sampler's memoryless fast path,
+			// hoisted); any branch off the benign path sets the phase
+			// and falls back to the dispatcher. Minima are explicit
+			// comparisons throughout the walker: math.Min is a function
+			// call (not an intrinsic here) and its NaN/±0 handling buys
+			// nothing for event times.
+			for {
+				idx, tFail := sc.cachedNextFailure(t, noDisk)
+				if tFail >= mission {
+					return st
+				}
 				st.events.Failures++
-				st.events.DoubleFailures++
-				t = sc.dataLoss(&st, tSecond, mission, fi, si)
-				// Restore rebuilds the full configuration, spare
-				// included (Fig. 3: DL --muDDF--> OP).
-				fi, phase = noDisk, phOP
-				continue
+				fi, t = idx, tFail
+
+				// EXP1: on-line rebuild onto the hot spare; no human
+				// involved.
+				rebEnd := t
+				if sc.rebuild.rate > 0 {
+					rebEnd += r.ExpFloat64() * sc.rebuild.invRate
+				} else {
+					rebEnd += sc.rebuild.sampleSlow(r)
+				}
+				si, tSecond := sc.cachedNextFailure(t, fi)
+				if rebEnd >= mission && tSecond >= mission {
+					return st // exposed but up
+				}
+				if tSecond < rebEnd {
+					st.events.Failures++
+					st.events.DoubleFailures++
+					t = sc.dataLoss(&st, tSecond, mission, fi, si)
+					// Restore rebuilds the full configuration, spare
+					// included (Fig. 3: DL --muDDF--> OP); the cycle
+					// restarts fused.
+					fi = noDisk
+					continue
+				}
+				// Spare now carries the failed member's data.
+				fail[fi] = rebEnd + sc.ttf.sample(r)
+				sc.clocksChanged()
+				fi, t = noDisk, rebEnd
+
+				// OPns: technician replenishes the spare slot; a wrong
+				// pull here hits a fully redundant array (degraded,
+				// still up).
+				swapEnd := t
+				if sc.swap.rate > 0 {
+					swapEnd += r.ExpFloat64() * sc.swap.invRate
+				} else {
+					swapEnd += sc.swap.sampleSlow(r)
+				}
+				idx, tFail = sc.cachedNextFailure(t, noDisk)
+				if swapEnd >= mission && tFail >= mission {
+					return st
+				}
+				if tFail < swapEnd {
+					st.events.Failures++
+					fi, t, phase = idx, tFail, phEXPns1
+					break
+				}
+				t = swapEnd
+				if !sc.hepTrial(r) {
+					continue // spare slot replenished: benign cycle done
+				}
+				st.events.HumanErrors++
+				pi = pickOther(r, n, noDisk, noDisk)
+				phase = phEXPns2
+				break
 			}
-			// Spare now carries the failed member's data.
-			fail[fi] = rebEnd + sc.ttf.sample(r)
-			sc.clocksChanged()
-			fi, t, phase = noDisk, rebEnd, phOPns
 
 		case phOPns:
-			// Technician replenishes the spare slot; a wrong pull here
-			// hits a fully redundant array (degraded, still up).
+			// Mid-cycle entry only (after a restore or a no-spare
+			// service completion): one swap step, then the benign
+			// cycle re-enters the fused phOP loop.
 			swapEnd := t + sc.swap.sample(r)
 			idx, tFail := sc.cachedNextFailure(t, noDisk)
-			if math.Min(swapEnd, tFail) >= mission {
+			if swapEnd >= mission && tFail >= mission {
 				return st
 			}
 			if tFail < swapEnd {
@@ -100,7 +143,7 @@ func (sc *scratch) failover(mission float64) iterStats {
 			// service, racing a second member failure.
 			svcEnd := t + sc.repair.sample(r)
 			si, tSecond := sc.cachedNextFailure(t, fi)
-			if math.Min(svcEnd, tSecond) >= mission {
+			if svcEnd >= mission && tSecond >= mission {
 				return st
 			}
 			if tSecond < svcEnd {
@@ -126,7 +169,13 @@ func (sc *scratch) failover(mission float64) iterStats {
 			attemptEnd := t + sc.herec.sample(r)
 			crashAt := t + expInv(r, sc.crashInv)
 			idx, tFail := sc.cachedNextFailure(t, pi)
-			next := math.Min(attemptEnd, math.Min(crashAt, tFail))
+			next := attemptEnd
+			if crashAt < next {
+				next = crashAt
+			}
+			if tFail < next {
+				next = tFail
+			}
 			if next >= mission {
 				return st
 			}
@@ -165,7 +214,13 @@ func (sc *scratch) failover(mission float64) iterStats {
 				attemptEnd := cur + sc.herec.sample(r)
 				crashAt := cur + expInv(r, sc.crashInv)
 				oi, tOther := nextFailure(fail, cur, fi, pi)
-				next := math.Min(attemptEnd, math.Min(crashAt, tOther))
+				next := attemptEnd
+				if crashAt < next {
+					next = crashAt
+				}
+				if tOther < next {
+					next = tOther
+				}
 				if next >= mission {
 					st.downDU += mission - duStart
 					return st
@@ -207,7 +262,13 @@ func (sc *scratch) failover(mission float64) iterStats {
 				attemptEnd := cur + sc.herec.sample(r)
 				crashAt := cur + expInv(r, sc.crash2Inv)
 				oi, tOther := nextFailure(fail, cur, pi, pi2)
-				next := math.Min(attemptEnd, math.Min(crashAt, tOther))
+				next := attemptEnd
+				if crashAt < next {
+					next = crashAt
+				}
+				if tOther < next {
+					next = tOther
+				}
 				if next >= mission {
 					st.downDU += mission - duStart
 					return st

@@ -9,13 +9,17 @@ package sim
 type foMemK struct {
 	invOP float64 // n*lambda: wait for the first failure
 
-	totEXP1 float64 // muS + (n-1)*lambda: rebuild-to-spare vs failure
-	invEXP1 float64
-	cutEXP1 float64 // failure share
+	totEXP1  float64 // muS + (n-1)*lambda: rebuild-to-spare vs failure
+	invEXP1  float64
+	cutEXP1  float64 // failure share
+	gap1Inv  float64 // geomInv of the failure-beats-rebuild probability
+	gap1QCap float64 // its censoring threshold
 
-	totOPns float64 // muCH + n*lambda: spare swap vs failure
-	invOPns float64
-	cutOPns float64 // failure share
+	totOPns  float64 // muCH + n*lambda: spare swap vs failure
+	invOPns  float64
+	cutOPns  float64 // failure share
+	gap2Inv  float64 // geomInv of the failure-beats-swap probability
+	gap2QCap float64 // its censoring threshold
 
 	totEXPns1 float64 // muDF + (n-1)*lambda: direct service vs failure
 	invEXPns1 float64
@@ -48,10 +52,14 @@ func makeFoMemK(p *ArrayParams, m memRates) foMemK {
 	k.totEXP1 = m.muS + (n-1)*m.lambda
 	k.invEXP1 = inv(k.totEXP1)
 	k.cutEXP1 = (n - 1) * m.lambda
+	k.gap1Inv = geomInv(k.cutEXP1 * k.invEXP1)
+	k.gap1QCap = geomQCap(k.cutEXP1 * k.invEXP1)
 
 	k.totOPns = m.muCH + n*m.lambda
 	k.invOPns = inv(k.totOPns)
 	k.cutOPns = n * m.lambda
+	k.gap2Inv = geomInv(k.cutOPns * k.invOPns)
+	k.gap2QCap = geomQCap(k.cutOPns * k.invOPns)
 
 	k.totEXPns1 = m.muDF + (n-1)*m.lambda
 	k.invEXPns1 = inv(k.totEXPns1)
@@ -83,18 +91,61 @@ func makeFoMemK(p *ArrayParams, m memRates) foMemK {
 // conventional_memoryless.go — but each phase is one rate-based
 // holding-time draw plus one winner draw, with no clock array, no
 // scans and no re-scans.
+//
+// The benign OP -> EXP1 -> OPns -> OP cycle (failure, clean rebuild
+// onto the spare, clean swap) dominates a lifetime. Its two race
+// outcomes are skip-sampled like the conventional walker's (gap1:
+// rebuild loses to a second failure; gap2: swap loses to a failure),
+// and min(gap1, gap2, hepGap) quiet cycles are aggregated into
+// three-Erlang chunks (see conventionalMemoryless).
 func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 	k, r := &sc.foK, &sc.src
 	var st iterStats
 	t := 0.0
 	phase := phOP
 	duStart := 0.0 // opening time of the active DU interval
+	gap1, gap2 := -1, -1
+	exact1, exact2 := false, false
+
+	cycleRate := 0.0
+	if !sc.noBatch && k.invOP > 0 {
+		cycleRate = 1 / (k.invOP + k.invEXP1 + k.invOPns)
+	}
 
 	for t < mission {
 		switch phase {
 		case phOP:
+			if cycleRate > 0 {
+				if gap1 < 0 || (gap1 == 0 && !exact1) {
+					gap1, exact1 = drawGeomGap(r, k.gap1Inv, k.gap1QCap)
+				}
+				if gap2 < 0 || (gap2 == 0 && !exact2) {
+					gap2, exact2 = drawGeomGap(r, k.gap2Inv, k.gap2QCap)
+				}
+				if sc.hepGap < 0 || (sc.hepGap == 0 && !sc.hepExact) {
+					sc.drawHEPGap(r)
+				}
+				for {
+					c := quietChunk((mission-t)*cycleRate, gap1, gap2, sc.hepGap)
+					if c == 0 {
+						break
+					}
+					opSum := sc.erlangChunk(c, k.invOP)
+					exSum := sc.erlangChunk(c, k.invEXP1)
+					nsSum := sc.erlangChunk(c, k.invOPns)
+					if t+opSum+exSum+nsSum >= mission {
+						sc.resolveChunk3(&st, t, mission, c, opSum, exSum, nsSum)
+						return st
+					}
+					t += opSum + exSum + nsSum
+					st.events.Failures += int64(c)
+					gap1 -= c
+					gap2 -= c
+					sc.hepGap -= c
+				}
+			}
 			// n members up, hot spare present.
-			t += r.ExpFloat64() * k.invOP
+			t += sc.expNext() * k.invOP
 			if t >= mission {
 				return st
 			}
@@ -103,12 +154,16 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 
 		case phEXP1:
 			// On-line rebuild onto the hot spare; no human involved.
-			dt := r.ExpFloat64() * k.invEXP1
+			dt := sc.expNext() * k.invEXP1
 			if t+dt >= mission {
 				return st // exposed but up
 			}
 			t += dt
-			if r.Float64()*k.totEXP1 < k.cutEXP1 {
+			if gap1 < 0 || (gap1 == 0 && !exact1) {
+				gap1, exact1 = drawGeomGap(r, k.gap1Inv, k.gap1QCap)
+			}
+			if gap1 == 0 {
+				gap1 = -1
 				st.events.Failures++
 				st.events.DoubleFailures++
 				t = sc.memDataLoss(&st, t, mission, k.invTape)
@@ -117,21 +172,27 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 				phase = phOP
 				continue
 			}
+			gap1--
 			phase = phOPns // spare now carries the data
 
 		case phOPns:
 			// Technician replenishes the spare slot; a wrong pull here
 			// hits a fully redundant array (degraded, still up).
-			dt := r.ExpFloat64() * k.invOPns
+			dt := sc.expNext() * k.invOPns
 			if t+dt >= mission {
 				return st
 			}
 			t += dt
-			if r.Float64()*k.totOPns < k.cutOPns {
+			if gap2 < 0 || (gap2 == 0 && !exact2) {
+				gap2, exact2 = drawGeomGap(r, k.gap2Inv, k.gap2QCap)
+			}
+			if gap2 == 0 {
+				gap2 = -1
 				st.events.Failures++
 				phase = phEXPns1
 				continue
 			}
+			gap2--
 			if !sc.hepTrial(r) {
 				phase = phOP // spare slot replenished
 				continue
@@ -142,7 +203,7 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 		case phEXPns1:
 			// Exposed with no spare: direct replace-and-rebuild
 			// service, racing a second member failure.
-			dt := r.ExpFloat64() * k.invEXPns1
+			dt := sc.expNext() * k.invEXPns1
 			if t+dt >= mission {
 				return st
 			}
@@ -164,7 +225,7 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 
 		case phEXPns2:
 			// A healthy member is out; data still available (n-1 of n).
-			dt := r.ExpFloat64() * k.invEXPns2
+			dt := sc.expNext() * k.invEXPns2
 			if t+dt >= mission {
 				return st
 			}
@@ -197,7 +258,7 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 
 		case phDUns1:
 			// One failed + one pulled: unavailable until undone.
-			dt := r.ExpFloat64() * k.invDU1
+			dt := sc.expNext() * k.invDU1
 			if t+dt >= mission {
 				st.downDU += mission - duStart
 				return st
@@ -231,7 +292,7 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 
 		case phDUns2:
 			// Two healthy members pulled (double human error).
-			dt := r.ExpFloat64() * k.invDU2
+			dt := sc.expNext() * k.invDU2
 			if t+dt >= mission {
 				st.downDU += mission - duStart
 				return st

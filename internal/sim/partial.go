@@ -198,7 +198,7 @@ func RunRangeStream(p ArrayParams, o Options, start, end int, out chan<- Partial
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := newScratch(&p, opts.Kernel)
+			sc := newScratch(&p, opts.Kernel, opts.noBatch)
 			for {
 				select {
 				case <-stop:
@@ -248,13 +248,23 @@ func RunRange(p ArrayParams, o Options, start, end int) ([]Partial, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	if workers == 1 {
+		// Single-worker runs walk the cells inline: no goroutine,
+		// no atomic cursor. Same scratch, same cell order, so the
+		// output is bit-identical to the concurrent path.
+		sc := newScratch(&p, opts.Kernel, opts.noBatch)
+		for ci := range cells {
+			parts[ci] = sc.runCell(cells[ci], opts, histMax)
+		}
+		return parts, nil
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := newScratch(&p, opts.Kernel)
+			sc := newScratch(&p, opts.Kernel, opts.noBatch)
 			for {
 				ci := int(next.Add(1)) - 1
 				if ci >= len(cells) {

@@ -267,6 +267,13 @@ type Options struct {
 	// Iterations (which becomes the minimum executed before the rule
 	// may bind). Zero means Iterations is the cap.
 	MaxIters int
+
+	// noBatch disables the batching transforms of the hot loop — the
+	// exponential refill buffer and benign-cycle Erlang aggregation —
+	// yielding the unbatched reference realization. Test-only
+	// (unexported, settable from package tests); it never crosses the
+	// JSON wire and does not participate in run fingerprints.
+	noBatch bool
 }
 
 // Adaptive reports whether the options request a precision-targeted

@@ -136,10 +136,24 @@ func (s *Source) OpenFloat64() float64 {
 // its seed (the contract the simulator's per-iteration streams rely
 // on).
 func (s *Source) ExpFloat64() float64 {
+	u := s.Uint64()
+	j := u >> 11  // 53 uniform bits
+	i := u & 0xff // layer index from disjoint low bits
+	if j < zigExpK[i] {
+		return float64(j) * zigExpW[i]
+	}
+	return s.expSlow(u)
+}
+
+// expSlow finishes a ziggurat exponential draw whose first uniform u
+// fell outside the fast-accept region (~1.4% of draws). Factoring it
+// out keeps ExpFloat64's fast path small and lets ExpFloat64N share
+// the identical slow continuation, so both consume the stream exactly
+// alike.
+func (s *Source) expSlow(u uint64) float64 {
 	for {
-		u := s.Uint64()
-		j := u >> 11  // 53 uniform bits
-		i := u & 0xff // layer index from disjoint low bits
+		j := u >> 11
+		i := u & 0xff
 		if j < zigExpK[i] {
 			return float64(j) * zigExpW[i]
 		}
@@ -152,7 +166,40 @@ func (s *Source) ExpFloat64() float64 {
 		if zigExpF[i]+s.Float64()*(zigExpF[i-1]-zigExpF[i]) < math.Exp(-x) {
 			return x
 		}
+		u = s.Uint64()
 	}
+}
+
+// ExpFloat64N fills dst with independent rate-1 exponential variates.
+// It draws from the same ziggurat as ExpFloat64 and consumes the
+// stream identically to len(dst) sequential ExpFloat64 calls, so a
+// replayed stream may switch freely between the two. The batch form
+// keeps the xoshiro state in registers across the whole fill,
+// amortizing the per-call state loads/stores that dominate
+// single-draw cost; the rare non-fast draws (~1.4%) flush state back
+// and take the shared slow continuation.
+func (s *Source) ExpFloat64N(dst []float64) {
+	s0, s1, s2, s3 := s.s[0], s.s[1], s.s[2], s.s[3]
+	for n := range dst {
+		u := rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		j := u >> 11
+		i := u & 0xff
+		if j < zigExpK[i] {
+			dst[n] = float64(j) * zigExpW[i]
+			continue
+		}
+		s.s[0], s.s[1], s.s[2], s.s[3] = s0, s1, s2, s3
+		dst[n] = s.expSlow(u)
+		s0, s1, s2, s3 = s.s[0], s.s[1], s.s[2], s.s[3]
+	}
+	s.s[0], s.s[1], s.s[2], s.s[3] = s0, s1, s2, s3
 }
 
 // ExpInvFloat64 returns an exponentially distributed float64 with

@@ -437,6 +437,58 @@ func TestExpFloat64TailReachable(t *testing.T) {
 	}
 }
 
+func TestExpFloat64NMatchesSequential(t *testing.T) {
+	// The batch fill must consume the stream identically to sequential
+	// ExpFloat64 calls: same values, same generator state afterwards.
+	// Odd lengths exercise slow-path draws landing at batch boundaries.
+	for _, n := range []int{0, 1, 2, 7, 64, 333, 4096} {
+		a := New(91)
+		b := New(91)
+		got := make([]float64, n)
+		a.ExpFloat64N(got)
+		for i := 0; i < n; i++ {
+			want := b.ExpFloat64()
+			if got[i] != want {
+				t.Fatalf("len %d: batch[%d] = %v, sequential = %v", n, i, got[i], want)
+			}
+		}
+		if ga, gb := a.Uint64(), b.Uint64(); ga != gb {
+			t.Fatalf("len %d: post-batch state diverged (%d vs %d)", n, ga, gb)
+		}
+	}
+}
+
+func TestExpFloat64NSlowPathReachable(t *testing.T) {
+	// Non-fast draws (tail or wedge, ~1.4%) must occur inside batches;
+	// 64k draws should see hundreds. A fast draw consumes exactly one
+	// Uint64, so the batch state diverges from a pure-uniform walk iff
+	// some draw took the slow continuation.
+	s := New(53)
+	buf := make([]float64, 1024)
+	slow := false
+	for round := 0; round < 64 && !slow; round++ {
+		fastOnly := s.Clone()
+		for i := 0; i < len(buf); i++ {
+			fastOnly.Uint64()
+		}
+		s.ExpFloat64N(buf)
+		slow = *fastOnly != *s
+	}
+	if !slow {
+		t.Fatal("slow path never taken across 64k batched draws")
+	}
+}
+
+func BenchmarkExpFloat64N(b *testing.B) {
+	s := New(1)
+	buf := make([]float64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += len(buf) {
+		s.ExpFloat64N(buf)
+	}
+	_ = buf
+}
+
 func BenchmarkExpFloat64Ziggurat(b *testing.B) {
 	s := New(1)
 	acc := 0.0

@@ -30,7 +30,7 @@ benchtime="${2:-2s}"
 raw=""
 for pkg in . ./internal/dist/ ./internal/xrand/ ./internal/stats/; do
   raw+="$(go test -run='^$' \
-    -bench='MCIteration|SteadyState|MTTDL|SampleN|ExpFloat64|NormFloat64|Uint32n|StudentTQuantile' \
+    -bench='MCIteration|SteadyState|MTTDL|SampleN|ExpFloat64|ErlangFloat64|NormFloat64|Uint32n|StudentTQuantile' \
     -benchmem -benchtime="$benchtime" -count=1 "$pkg" 2>&1)"
   raw+=$'\n'
 done
