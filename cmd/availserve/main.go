@@ -1,0 +1,155 @@
+// Command availserve exposes the availability simulator as a
+// long-lived HTTP/JSON service on a shared shard worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/run      execute (or replay) one simulation; ?stream=1 or
+//	                  Accept: text/event-stream streams progress
+//	POST /v1/sweep    execute a batch of points in one request
+//	GET  /v1/cache    result-cache statistics
+//	GET  /v1/healthz  liveness and drain state
+//
+// Results are cached under the canonical run fingerprint and
+// concurrent identical requests share a single execution. Workers are
+// local processes (-local-procs), dialed remotes (-shard-connect:
+// availsim -shard-serve peers), and/or elastic joiners accepted on
+// -shard-listen (availsim -shard-join). SIGTERM or SIGINT drains
+// gracefully: in-flight runs finish, new runs get 503, then the
+// process exits 0.
+//
+//	availserve -listen :8080
+//	availserve -listen :8080 -shard-listen :9009 -shard-token s3cret
+//	availserve -listen :8080 -shard-connect box1:9009,box2:9009
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"herald/internal/serve"
+	"herald/internal/shard"
+)
+
+func main() {
+	shard.MaybeWorker()
+
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		localProcs = flag.Int("local-procs", 0, "local worker processes (0 = GOMAXPROCS; with remote or joining workers, 0 means none)")
+
+		shardConnect = flag.String("shard-connect", "", "comma-separated host:port list of remote TCP workers (availsim -shard-serve) to attach")
+		shardListen  = flag.String("shard-listen", "", "accept elastic workers (availsim -shard-join) on this address")
+		shardToken   = flag.String("shard-token", "", "shared secret authenticating shard connections; both ends must agree")
+		shardTLSCert = flag.String("shard-tls-cert", "", "PEM certificate for TLS on -shard-listen (with -shard-tls-key); on -shard-connect, the client certificate for mutual TLS")
+		shardTLSKey  = flag.String("shard-tls-key", "", "PEM private key paired with -shard-tls-cert")
+		shardTLSCA   = flag.String("shard-tls-ca", "", "PEM CA bundle: -shard-connect verifies servers against it; -shard-listen additionally requires client certificates chained to it")
+		shardHB      = flag.Duration("shard-heartbeat", 0, "shard liveness heartbeat interval (0 = 3s)")
+
+		cacheEntries = flag.Int("cache-entries", 256, "result-cache capacity (fingerprint-keyed LRU)")
+		maxInFlight  = flag.Int("max-inflight", 4, "concurrently executing runs")
+		maxQueue     = flag.Int("max-queue", 16, "requests waiting for a run slot before 429 (negative: refuse immediately)")
+		retryAfter   = flag.Duration("retry-after", 5*time.Second, "Retry-After hint on 429 responses")
+		maxSweep     = flag.Int("max-sweep-points", 64, "points allowed in one /v1/sweep request")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "bound on the graceful drain after SIGTERM")
+	)
+	flag.Parse()
+
+	clientNC := shard.NetConfig{Token: *shardToken, HeartbeatInterval: *shardHB}
+	serverNC := clientNC
+	var err error
+	if *shardTLSCert != "" || *shardTLSKey != "" {
+		serverNC.TLS, err = shard.ServerTLS(*shardTLSCert, *shardTLSKey, *shardTLSCA)
+		exitOn(err)
+	}
+	if *shardTLSCA != "" {
+		clientNC.TLS, err = shard.ClientTLS(*shardTLSCA, "", *shardTLSCert, *shardTLSKey)
+		exitOn(err)
+	}
+
+	var workers []shard.Worker
+	if *shardConnect != "" {
+		for _, addr := range strings.Split(*shardConnect, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			w, err := shard.DialNet(addr, clientNC)
+			exitOn(err)
+			workers = append(workers, w)
+		}
+	}
+	if *localProcs > 0 || (len(workers) == 0 && *shardListen == "") {
+		local, err := shard.SpawnLocal(*localProcs)
+		exitOn(err)
+		workers = append(workers, local...)
+	}
+	var source <-chan shard.Worker
+	var shardLn net.Listener
+	if *shardListen != "" {
+		shardLn, source, err = shard.ListenWorkers(*shardListen, serverNC, os.Stderr)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "availserve: accepting shard workers on %s\n", shardLn.Addr())
+	}
+
+	pool, err := shard.NewPool(workers, source, os.Stderr)
+	exitOn(err)
+
+	srv, err := serve.NewServer(serve.Config{
+		Pool:           pool,
+		CacheEntries:   *cacheEntries,
+		MaxInFlight:    *maxInFlight,
+		MaxQueued:      *maxQueue,
+		RetryAfter:     *retryAfter,
+		MaxSweepPoints: *maxSweep,
+		Log:            os.Stderr,
+	})
+	exitOn(err)
+
+	ln, err := net.Listen("tcp", *listen)
+	exitOn(err)
+	hs := &http.Server{Handler: srv}
+	fmt.Fprintf(os.Stderr, "availserve: listening on http://%s\n", ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "availserve: %v received, draining\n", s)
+	case err := <-serveErr:
+		exitOn(err)
+	}
+
+	// Graceful drain: refuse new runs, let in-flight requests and
+	// their runs finish (bounded), then release the pool.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "availserve: shutdown: %v\n", err)
+	}
+	srv.Drain()
+	if shardLn != nil {
+		shardLn.Close()
+	}
+	if err := pool.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "availserve: pool close: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "availserve: drained, exiting")
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "availserve:", err)
+		os.Exit(1)
+	}
+}

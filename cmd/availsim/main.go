@@ -49,8 +49,10 @@ import (
 	"math"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"herald/internal/dist"
@@ -221,15 +223,17 @@ func main() {
 	exitOn(err)
 
 	if *shardServe != "" {
-		err := shard.ListenAndServeNet(*shardServe, serverNC, func(a net.Addr) {
+		err := shard.ListenAndServeNetStop(*shardServe, serverNC, func(a net.Addr) {
 			fmt.Fprintf(os.Stderr, "availsim: serving shard jobs on %s\n", a)
-		})
+		}, stopOnSignal())
 		exitOn(err)
+		fmt.Fprintln(os.Stderr, "availsim: shard worker drained, exiting")
 		return
 	}
 	if *shardJoin != "" {
 		fmt.Fprintf(os.Stderr, "availsim: joining shard coordinator %s\n", *shardJoin)
-		exitOn(shard.Join(*shardJoin, *shardCapacity, clientNC))
+		exitOn(shard.JoinStop(*shardJoin, *shardCapacity, clientNC, stopOnSignal()))
+		fmt.Fprintln(os.Stderr, "availsim: shard worker drained, exiting")
 		return
 	}
 
@@ -270,15 +274,8 @@ func main() {
 	if p.Repair, err = rep.build(*muDF); err != nil {
 		exitOn(err)
 	}
-	switch *policy {
-	case "conventional":
-		p.Policy = sim.Conventional
-	case "failover":
-		p.Policy = sim.AutoFailover
-	case "dualparity":
-		p.Policy = sim.DualParity
-	default:
-		exitOn(fmt.Errorf("unknown -policy %q (want conventional, failover or dualparity)", *policy))
+	if p.Policy, err = sim.ParsePolicy(*policy); err != nil {
+		exitOn(err)
 	}
 
 	kern, err2 := sim.ParseKernel(*kernel)
@@ -429,4 +426,21 @@ func exitOn(err error) {
 		fmt.Fprintln(os.Stderr, "availsim:", err)
 		os.Exit(1)
 	}
+}
+
+// stopOnSignal returns a channel that closes on the first SIGINT or
+// SIGTERM, switching the long-lived worker modes to a graceful drain:
+// finish the running job, hand queued jobs back for reassignment,
+// exit 0.
+func stopOnSignal() <-chan struct{} {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "availsim: %v received, draining\n", s)
+		close(stop)
+		signal.Stop(sig)
+	}()
+	return stop
 }

@@ -1,0 +1,182 @@
+// Availclient: a minimal HTTP client for the availserve daemon,
+// demonstrating the service's JSON wire format end to end — request,
+// cached replay, and a streamed adaptive run.
+//
+// It deliberately imports nothing from this repository: the structs
+// below mirror the wire format exactly as any external client would
+// write them.
+//
+// Start a daemon, then run the client:
+//
+//	go run ./cmd/availserve -listen 127.0.0.1:8080 &
+//	go run ./examples/availclient -addr http://127.0.0.1:8080
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+)
+
+// spec mirrors dist.Spec: a distribution as family + parameters.
+type spec struct {
+	Family string    `json:"family"`
+	Params []float64 `json:"params,omitempty"`
+}
+
+// params mirrors the service's "params" object (shard.WireParams).
+type params struct {
+	Disks           int     `json:"disks"`
+	TTF             spec    `json:"ttf"`
+	Repair          spec    `json:"repair"`
+	TapeRestore     spec    `json:"tape_restore"`
+	HERecovery      *spec   `json:"he_recovery,omitempty"`
+	HEP             float64 `json:"hep"`
+	CrashRate       float64 `json:"crash_rate"`
+	ResyncAfterUndo bool    `json:"resync_after_undo"`
+	Policy          int     `json:"policy"`
+}
+
+// options mirrors the service's "options" object.
+type options struct {
+	Iterations      int     `json:"iterations"`
+	MissionTime     float64 `json:"mission_time"`
+	Seed            uint64  `json:"seed"`
+	TargetHalfWidth float64 `json:"target_half_width,omitempty"`
+}
+
+type runRequest struct {
+	Params  params  `json:"params"`
+	Options options `json:"options"`
+	Shards  int     `json:"shards,omitempty"`
+}
+
+type runResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached"`
+	Summary     struct {
+		Availability float64 `json:"Availability"`
+		HalfWidth    float64 `json:"HalfWidth"`
+		Nines        float64 `json:"Nines"`
+		Iterations   int     `json:"Iterations"`
+		Converged    bool    `json:"Converged"`
+	} `json:"summary"`
+}
+
+type streamEvent struct {
+	Type       string   `json:"type"`
+	Iterations int      `json:"iterations"`
+	Cap        int      `json:"cap"`
+	HalfWidth  *float64 `json:"half_width"`
+	Converged  bool     `json:"converged"`
+	Error      string   `json:"error"`
+	runResponse
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "availserve base URL")
+	flag.Parse()
+
+	// A 4-disk RAID5 array with paper-style rates: exponential disk
+	// lifetimes (1/λ = 10^6 h), 30 h repairs, 48 h tape restores, and
+	// a 1% per-service human error probability with 8 h undo recovery.
+	req := runRequest{
+		Params: params{
+			Disks:       4,
+			TTF:         spec{Family: "exponential", Params: []float64{1e-6}},
+			Repair:      spec{Family: "deterministic", Params: []float64{30}},
+			TapeRestore: spec{Family: "deterministic", Params: []float64{48}},
+			HERecovery:  &spec{Family: "deterministic", Params: []float64{8}},
+			HEP:         0.01,
+		},
+		Options: options{Iterations: 50_000, MissionTime: 87_600, Seed: 1},
+	}
+
+	fmt.Println("--- POST /v1/run (fresh) ---")
+	r1 := postRun(*addr, req)
+	fmt.Printf("fingerprint %s  cached=%v\n", r1.Fingerprint, r1.Cached)
+	fmt.Printf("availability %.6f ± %.6f (%.2f nines, %d iterations)\n\n",
+		r1.Summary.Availability, r1.Summary.HalfWidth, r1.Summary.Nines, r1.Summary.Iterations)
+
+	fmt.Println("--- POST /v1/run (identical request: served from cache) ---")
+	start := time.Now()
+	r2 := postRun(*addr, req)
+	fmt.Printf("fingerprint %s  cached=%v  (%.1fms)\n\n", r2.Fingerprint, r2.Cached,
+		float64(time.Since(start).Microseconds())/1000)
+
+	fmt.Println("--- POST /v1/run?stream=1 (adaptive, live progress) ---")
+	adaptive := req
+	adaptive.Options.Seed = 2
+	adaptive.Options.TargetHalfWidth = 2e-5
+	streamRun(*addr, adaptive)
+}
+
+func postRun(addr string, req runRequest) runResponse {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(addr+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST /v1/run: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST /v1/run: %s: %s", resp.Status, e.Error)
+	}
+	var rr runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		log.Fatalf("decode: %v", err)
+	}
+	return rr
+}
+
+func streamRun(addr string, req runRequest) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(addr+"/v1/run?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST /v1/run?stream=1: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("stream: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatalf("bad stream line: %v", err)
+		}
+		switch ev.Type {
+		case "progress":
+			hw := "n/a"
+			if ev.HalfWidth != nil {
+				hw = fmt.Sprintf("%.2e", *ev.HalfWidth)
+			}
+			fmt.Printf("  %7d / %d iterations, half-width %s, converged=%v\n",
+				ev.Iterations, ev.Cap, hw, ev.Converged)
+		case "result":
+			fmt.Printf("final: availability %.6f ± %.6f at %d iterations (converged=%v)\n",
+				ev.Summary.Availability, ev.Summary.HalfWidth,
+				ev.Summary.Iterations, ev.Summary.Converged)
+		case "error":
+			log.Fatalf("run failed: %s", ev.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("stream read: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"herald/internal/raid"
 	"herald/internal/report"
 	"herald/internal/repro"
+	"herald/internal/serve"
 	"herald/internal/shard"
 	"herald/internal/sim"
 	"herald/internal/stats"
@@ -425,3 +426,46 @@ func RunExperiment(id string, o ExperimentOptions) ([]*report.Table, error) {
 func RunAllExperiments(w io.Writer, o ExperimentOptions) error {
 	return repro.RunAll(w, o)
 }
+
+// ---------------------------------------------------------------------
+// Availability as a service
+// ---------------------------------------------------------------------
+
+// SimFingerprint is the canonical identity of a run's result: a
+// stable hash over every result-affecting input (parameters and
+// options, schedule-only knobs excluded). Equal fingerprints mean
+// byte-identical Summaries, whatever the worker or shard count — it
+// is the exact cache key availserve and SweepResult.Fingerprint use.
+func SimFingerprint(p SimParams, o SimOptions) (string, error) {
+	return shard.FingerprintOf(p, o)
+}
+
+// ShardPool is a persistent worker pool accepting runs over its
+// lifetime: the execution engine behind the availability service.
+type ShardPool = shard.Pool
+
+// ShardRunSpec is one run submitted to a ShardPool.
+type ShardRunSpec = shard.RunSpec
+
+// ShardRunProgress is one progress observation of a pool run (banked
+// iterations, adaptive half-width, convergence).
+type ShardRunProgress = shard.RunProgress
+
+// NewShardPool starts a persistent pool on the given workers and
+// optional elastic worker source. Close the pool to release them.
+func NewShardPool(workers []ShardWorker, source <-chan ShardWorker, logw io.Writer) (*ShardPool, error) {
+	return shard.NewPool(workers, source, logw)
+}
+
+// ServiceConfig configures the availability-simulation HTTP service;
+// see internal/serve and cmd/availserve.
+type ServiceConfig = serve.Config
+
+// Service is the availability-simulation HTTP handler: fingerprint-
+// keyed result caching, singleflight dedup of identical requests,
+// streamed progress for adaptive runs, admission control and graceful
+// drain.
+type Service = serve.Server
+
+// NewService builds a Service on a ShardPool.
+func NewService(cfg ServiceConfig) (*Service, error) { return serve.NewServer(cfg) }

@@ -1,0 +1,101 @@
+// Package serve exposes the availability simulator as a long-lived
+// HTTP/JSON service: one shared shard pool executes every request,
+// results are cached under the canonical run fingerprint, concurrent
+// identical requests coalesce into a single run, and adaptive runs can
+// stream their convergence progress to the client.
+//
+// Because simulation results are bit-identical for equal fingerprints
+// regardless of worker or shard count (see shard.RunFingerprint), the
+// cache is exact: a hit returns the very bytes a fresh run would have
+// produced.
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of the result cache,
+// served by GET /v1/cache.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Inserts   uint64 `json:"inserts"`
+}
+
+// resultCache is an LRU map from run fingerprint to the marshalled
+// Summary bytes of the finished run. Entries are immutable once
+// inserted; the stored slice is shared, never mutated.
+type resultCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	byFP      map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	inserts   uint64
+}
+
+type cacheEntry struct {
+	fp   string
+	body []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:  capacity,
+		ll:   list.New(),
+		byFP: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached summary bytes for fp, or nil on a miss.
+func (c *resultCache) get(fp string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byFP[fp]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body
+}
+
+// put inserts (or refreshes) fp's summary bytes, evicting the least
+// recently used entry when over capacity.
+func (c *resultCache) put(fp string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byFP[fp]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.inserts++
+	c.byFP[fp] = c.ll.PushFront(&cacheEntry{fp: fp, body: body})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byFP, last.Value.(*cacheEntry).fp)
+		c.evictions++
+	}
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Inserts:   c.inserts,
+	}
+}

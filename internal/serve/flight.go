@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sync"
+
+	"herald/internal/shard"
+)
+
+// flight is one in-progress run shared by every request that asked for
+// the same fingerprint (singleflight). The first request becomes the
+// leader and executes the run; later identical requests join, block on
+// done, and read the same bytes. Streaming requests subscribe to the
+// run's progress feed; slow subscribers are coalesced, never blocked
+// on, because the publisher runs under the shard dispatcher's lock.
+type flight struct {
+	fp   string
+	done chan struct{}
+
+	mu      sync.Mutex
+	subs    map[chan shard.RunProgress]struct{}
+	last    shard.RunProgress
+	hasLast bool
+
+	// Set before done closes, immutable after.
+	body []byte
+	err  error
+}
+
+func newFlight(fp string) *flight {
+	return &flight{
+		fp:   fp,
+		done: make(chan struct{}),
+		subs: make(map[chan shard.RunProgress]struct{}),
+	}
+}
+
+// publish fans a progress observation out to every subscriber. It is
+// the Pool.Submit progress callback, so it must never block: each
+// subscriber channel has capacity one and acts as a mailbox holding
+// the freshest observation — when full, the stale value is dropped and
+// replaced. Progress is monotone, so dropping older events preserves
+// the stream's ordering guarantee.
+func (f *flight) publish(pr shard.RunProgress) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.last = pr
+	f.hasLast = true
+	for ch := range f.subs {
+		select {
+		case ch <- pr:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- pr:
+			default:
+			}
+		}
+	}
+}
+
+// subscribe registers a progress mailbox, pre-filled with the latest
+// observation so a late joiner sees where the run stands immediately.
+func (f *flight) subscribe() chan shard.RunProgress {
+	ch := make(chan shard.RunProgress, 1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hasLast {
+		ch <- f.last
+	}
+	f.subs[ch] = struct{}{}
+	return ch
+}
+
+func (f *flight) unsubscribe(ch chan shard.RunProgress) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.subs, ch)
+}
+
+// finish records the run's outcome and releases every waiter. The
+// leader calls it exactly once, after the result has been inserted
+// into the cache (so no request can observe neither flight nor cache).
+func (f *flight) finish(body []byte, err error) {
+	f.body = body
+	f.err = err
+	close(f.done)
+}

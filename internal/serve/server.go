@@ -1,0 +1,605 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"herald/internal/shard"
+	"herald/internal/sim"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Pool is the shared shard worker pool every request executes on.
+	// Required; the Server does not own it (Close it after Drain).
+	Pool *shard.Pool
+	// CacheEntries bounds the LRU result cache (default 256).
+	CacheEntries int
+	// MaxInFlight bounds concurrently executing runs (default 4).
+	// Cache hits and singleflight joins bypass admission entirely.
+	MaxInFlight int
+	// MaxQueued bounds requests waiting for an execution slot; beyond
+	// it new work is refused with 429 + Retry-After (default 16;
+	// negative means refuse immediately once the slots are full).
+	MaxQueued int
+	// RetryAfter is the hint sent with 429 responses (default 5s).
+	RetryAfter time.Duration
+	// MaxSweepPoints bounds the points of one /v1/sweep request
+	// (default 64).
+	MaxSweepPoints int
+	// Log receives request-level diagnostics (default: discard).
+	Log io.Writer
+}
+
+// Server is the availability-simulation HTTP service. It implements
+// http.Handler; mount it directly or under a prefix.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *resultCache
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	queued  int
+
+	slots     chan struct{}
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewServer builds a Server on the given pool, applying Config
+// defaults for unset fields.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("serve: Config.Pool is required")
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.MaxQueued < 0 {
+		cfg.MaxQueued = 0
+	} else if cfg.MaxQueued == 0 {
+		cfg.MaxQueued = 16
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 5 * time.Second
+	}
+	if cfg.MaxSweepPoints <= 0 {
+		cfg.MaxSweepPoints = 64
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newResultCache(cfg.CacheEntries),
+		flights: make(map[string]*flight),
+		slots:   make(chan struct{}, cfg.MaxInFlight),
+		drainCh: make(chan struct{}),
+	}
+	// The module's go directive predates method patterns in ServeMux,
+	// so routes are plain paths with explicit method checks.
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/cache", s.handleCache)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// BeginDrain refuses new runs (503) while letting cache hits, flight
+// joins and already-admitted work finish. Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// Drain begins draining and blocks until every in-flight run has
+// finished. Call after shutting down the HTTP listener; the pool can
+// be closed once Drain returns.
+func (s *Server) Drain() {
+	s.BeginDrain()
+	s.wg.Wait()
+}
+
+// CacheStats snapshots the result cache.
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// RunOptions is the wire form of the result-affecting simulation
+// options. Workers is deliberately absent: parallelism is the
+// server's business and never part of a run's identity.
+type RunOptions struct {
+	Iterations        int     `json:"iterations"`
+	MissionTime       float64 `json:"mission_time"`
+	Seed              uint64  `json:"seed"`
+	Confidence        float64 `json:"confidence,omitempty"`
+	Kernel            string  `json:"kernel,omitempty"`
+	TargetHalfWidth   float64 `json:"target_half_width,omitempty"`
+	MaxIters          int     `json:"max_iters,omitempty"`
+	HistogramBins     int     `json:"histogram_bins,omitempty"`
+	HistogramMaxHours float64 `json:"histogram_max_hours,omitempty"`
+}
+
+// RunRequest is the body of POST /v1/run and one point of /v1/sweep.
+type RunRequest struct {
+	Params  shard.WireParams `json:"params"`
+	Options RunOptions       `json:"options"`
+	// Shards optionally fixes the run's shard partition; 0 lets the
+	// pool choose. The result is bit-identical either way and the
+	// cache key ignores it.
+	Shards int `json:"shards,omitempty"`
+}
+
+// RunResponse is the body of a successful POST /v1/run.
+type RunResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	// Cached reports the summary came from the result cache. A
+	// summary produced by joining a concurrent identical run reports
+	// false: it was computed (once), not replayed.
+	Cached  bool            `json:"cached"`
+	Summary json.RawMessage `json:"summary"`
+}
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	Points []RunRequest `json:"points"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep; Results
+// align with the request's Points.
+type SweepResponse struct {
+	Results []RunResponse `json:"results"`
+}
+
+// streamEvent is one line of a streamed run (ndjson) or one SSE data
+// payload. Progress events carry iterations/cap/half_width/converged;
+// the terminal event is type "result" (or "error").
+type streamEvent struct {
+	Type        string          `json:"type"`
+	Iterations  int             `json:"iterations,omitempty"`
+	Cap         int             `json:"cap,omitempty"`
+	HalfWidth   *float64        `json:"half_width,omitempty"`
+	Converged   bool            `json:"converged,omitempty"`
+	Final       bool            `json:"final,omitempty"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Cached      bool            `json:"cached,omitempty"`
+	Summary     json.RawMessage `json:"summary,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+type httpError struct {
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
+	if he.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(he.retryAfter.Seconds())))
+	}
+	writeJSON(w, he.code, map[string]string{"error": he.msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// compile validates a request and lowers it to a pool RunSpec plus its
+// canonical fingerprint. The kernel is resolved to its concrete form
+// first, so "auto" and the kernel it resolves to share one cache key
+// (they are the same run).
+func compile(req *RunRequest) (shard.RunSpec, string, error) {
+	p, err := req.Params.Decode()
+	if err != nil {
+		return shard.RunSpec{}, "", err
+	}
+	if err := p.Validate(); err != nil {
+		return shard.RunSpec{}, "", err
+	}
+	ks := req.Options.Kernel
+	if ks == "" {
+		ks = "auto"
+	}
+	kernel, err := sim.ParseKernel(ks)
+	if err != nil {
+		return shard.RunSpec{}, "", err
+	}
+	kernel, err = sim.ResolveKernel(p, kernel)
+	if err != nil {
+		return shard.RunSpec{}, "", err
+	}
+	o := sim.Options{
+		Iterations:        req.Options.Iterations,
+		MissionTime:       req.Options.MissionTime,
+		Seed:              req.Options.Seed,
+		Confidence:        req.Options.Confidence,
+		Kernel:            kernel,
+		TargetHalfWidth:   req.Options.TargetHalfWidth,
+		MaxIters:          req.Options.MaxIters,
+		HistogramBins:     req.Options.HistogramBins,
+		HistogramMaxHours: req.Options.HistogramMaxHours,
+	}
+	if err := o.Validate(); err != nil {
+		return shard.RunSpec{}, "", err
+	}
+	if req.Shards < 0 {
+		return shard.RunSpec{}, "", fmt.Errorf("serve: shards must be non-negative")
+	}
+	wire, err := shard.EncodeParams(p)
+	if err != nil {
+		return shard.RunSpec{}, "", err
+	}
+	fp := shard.RunFingerprint(wire, o)
+	return shard.RunSpec{Params: p, Options: o, Shards: req.Shards}, fp, nil
+}
+
+// acquire claims an execution slot, queueing up to MaxQueued waiters.
+// Beyond the queue bound it refuses deterministically with 429.
+func (s *Server) acquire(ctx ctxDone) (func(), *httpError) {
+	select {
+	case <-s.drainCh:
+		return nil, &httpError{code: http.StatusServiceUnavailable, msg: "server is draining"}
+	default:
+	}
+	release := func() { <-s.slots }
+	select {
+	case s.slots <- struct{}{}:
+		return release, nil
+	default:
+	}
+	s.mu.Lock()
+	if s.queued >= s.cfg.MaxQueued {
+		s.mu.Unlock()
+		return nil, &httpError{
+			code:       http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("at capacity: %d in flight, %d queued", s.cfg.MaxInFlight, s.cfg.MaxQueued),
+			retryAfter: s.cfg.RetryAfter,
+		}
+	}
+	s.queued++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, &httpError{code: http.StatusServiceUnavailable, msg: "client went away"}
+	case <-s.drainCh:
+		return nil, &httpError{code: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+}
+
+type ctxDone interface{ Done() <-chan struct{} }
+
+// joinOrLead returns fp's flight, creating and executing it when
+// absent. The caller hands over an admission-slot release; if an
+// existing flight is joined instead, the slot is released immediately.
+func (s *Server) joinOrLead(fp string, spec *shard.RunSpec, release func()) *flight {
+	s.mu.Lock()
+	if fl, ok := s.flights[fp]; ok {
+		s.mu.Unlock()
+		release()
+		return fl
+	}
+	fl := newFlight(fp)
+	s.flights[fp] = fl
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.execute(fl, spec, release)
+	return fl
+}
+
+// execute is the flight leader: run once on the pool, insert the
+// result into the cache, then retire the flight and wake every waiter.
+// Cache insertion precedes flight removal so a request observing
+// neither can only re-derive the identical bytes, never lose them.
+func (s *Server) execute(fl *flight, spec *shard.RunSpec, release func()) {
+	defer s.wg.Done()
+	defer release()
+	body, err := s.runOnce(spec, fl.publish)
+	if err == nil {
+		s.cache.put(fl.fp, body)
+	} else {
+		fmt.Fprintf(s.cfg.Log, "serve: run %s failed: %v\n", fl.fp, err)
+	}
+	s.mu.Lock()
+	delete(s.flights, fl.fp)
+	s.mu.Unlock()
+	fl.finish(body, err)
+}
+
+func (s *Server) runOnce(spec *shard.RunSpec, progress func(shard.RunProgress)) ([]byte, error) {
+	tk, err := s.cfg.Pool.Submit(*spec, progress)
+	if err != nil {
+		return nil, err
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res.Summary)
+}
+
+// flightOrCached resolves fp to either cached bytes or a flight to
+// wait on, admitting a new run if neither exists yet.
+func (s *Server) flightOrCached(ctx ctxDone, fp string, spec *shard.RunSpec) (*flight, []byte, *httpError) {
+	if b := s.cache.get(fp); b != nil {
+		return nil, b, nil
+	}
+	s.mu.Lock()
+	fl, ok := s.flights[fp]
+	s.mu.Unlock()
+	if ok {
+		return fl, nil, nil
+	}
+	release, herr := s.acquire(ctx)
+	if herr != nil {
+		return nil, nil, herr
+	}
+	return s.joinOrLead(fp, spec, release), nil, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, &httpError{code: http.StatusMethodNotAllowed, msg: "POST only"})
+		return
+	}
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, &httpError{code: http.StatusBadRequest, msg: err.Error()})
+		return
+	}
+	spec, fp, err := compile(&req)
+	if err != nil {
+		s.writeError(w, &httpError{code: http.StatusBadRequest, msg: err.Error()})
+		return
+	}
+	if r.URL.Query().Get("stream") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamRun(w, r, fp, &spec)
+		return
+	}
+	fl, body, herr := s.flightOrCached(r.Context(), fp, &spec)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	if fl != nil {
+		select {
+		case <-fl.done:
+		case <-r.Context().Done():
+			return
+		}
+		if fl.err != nil {
+			s.writeError(w, &httpError{code: http.StatusInternalServerError, msg: fl.err.Error()})
+			return
+		}
+		body = fl.body
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Fingerprint: fp, Cached: fl == nil, Summary: body})
+}
+
+// streamRun serves one run as a live event stream: ndjson by default,
+// SSE when the client asks for text/event-stream. Progress events are
+// coalesced (freshest wins, monotone); the terminal event carries the
+// same summary bytes a non-streaming request would have received.
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, fp string, spec *shard.RunSpec) {
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev streamEvent) {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprintf(w, "data: %s\n\n", b)
+		} else {
+			fmt.Fprintf(w, "%s\n", b)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	start := func() {
+		if sse {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Header().Set("Cache-Control", "no-cache")
+		} else {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		w.WriteHeader(http.StatusOK)
+	}
+
+	fl, body, herr := s.flightOrCached(r.Context(), fp, spec)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	if fl == nil {
+		start()
+		emit(streamEvent{Type: "result", Fingerprint: fp, Cached: true, Summary: body})
+		return
+	}
+	sub := fl.subscribe()
+	defer fl.unsubscribe(sub)
+	start()
+	for {
+		select {
+		case pr := <-sub:
+			emit(progressEvent(pr))
+		case <-fl.done:
+			select {
+			case pr := <-sub:
+				emit(progressEvent(pr))
+			default:
+			}
+			if fl.err != nil {
+				emit(streamEvent{Type: "error", Fingerprint: fp, Error: fl.err.Error()})
+			} else {
+				emit(streamEvent{Type: "result", Fingerprint: fp, Summary: fl.body})
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func progressEvent(pr shard.RunProgress) streamEvent {
+	ev := streamEvent{
+		Type:       "progress",
+		Iterations: pr.Iterations,
+		Cap:        pr.Cap,
+		Converged:  pr.Converged,
+		Final:      pr.Final,
+	}
+	if !math.IsInf(pr.HalfWidth, 0) && !math.IsNaN(pr.HalfWidth) {
+		hw := pr.HalfWidth
+		ev.HalfWidth = &hw
+	}
+	return ev
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, &httpError{code: http.StatusMethodNotAllowed, msg: "POST only"})
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, &httpError{code: http.StatusBadRequest, msg: err.Error()})
+		return
+	}
+	if len(req.Points) == 0 {
+		s.writeError(w, &httpError{code: http.StatusBadRequest, msg: "sweep has no points"})
+		return
+	}
+	if len(req.Points) > s.cfg.MaxSweepPoints {
+		s.writeError(w, &httpError{
+			code: http.StatusBadRequest,
+			msg:  fmt.Sprintf("sweep has %d points; limit is %d", len(req.Points), s.cfg.MaxSweepPoints),
+		})
+		return
+	}
+	specs := make([]shard.RunSpec, len(req.Points))
+	fps := make([]string, len(req.Points))
+	for i := range req.Points {
+		spec, fp, err := compile(&req.Points[i])
+		if err != nil {
+			s.writeError(w, &httpError{
+				code: http.StatusBadRequest,
+				msg:  fmt.Sprintf("point %d: %v", i, err),
+			})
+			return
+		}
+		specs[i] = spec
+		fps[i] = fp
+	}
+	// A sweep occupies one admission slot regardless of its point
+	// count; the pool pipelines the points internally.
+	release, herr := s.acquire(r.Context())
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	defer release()
+	results := make([]RunResponse, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, cached, err := s.resolvePoint(r.Context(), fps[i], &specs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = RunResponse{Fingerprint: fps[i], Cached: cached, Summary: body}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			s.writeError(w, &httpError{
+				code: http.StatusInternalServerError,
+				msg:  fmt.Sprintf("point %d: %v", i, err),
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{Results: results})
+}
+
+// resolvePoint is the sweep-side resolve: identical cache and
+// singleflight behaviour, but new flights ride on the sweep's already
+// held admission slot instead of acquiring their own.
+func (s *Server) resolvePoint(ctx ctxDone, fp string, spec *shard.RunSpec) ([]byte, bool, error) {
+	if b := s.cache.get(fp); b != nil {
+		return b, true, nil
+	}
+	fl := s.joinOrLead(fp, spec, func() {})
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		return nil, false, fmt.Errorf("serve: client went away")
+	}
+	return fl.body, false, fl.err
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, &httpError{code: http.StatusMethodNotAllowed, msg: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cache.stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, &httpError{code: http.StatusMethodNotAllowed, msg: "GET only"})
+		return
+	}
+	if err := s.cfg.Pool.Err(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "dead", "error": err.Error(),
+		})
+		return
+	}
+	status := "ok"
+	select {
+	case <-s.drainCh:
+		status = "draining"
+	default:
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}

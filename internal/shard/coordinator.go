@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -266,101 +267,28 @@ func RunPipelineSource(specs []RunSpec, workers []Worker, source <-chan Worker, 
 	if len(specs) == 0 {
 		return out, nil
 	}
-	if len(workers) == 0 && source == nil {
-		return out, fmt.Errorf("shard: no workers")
+	pool, err := newPool(workers, source, logw, false)
+	if err != nil {
+		return out, err
 	}
-	if logw == nil {
-		logw = io.Discard
-	}
-	d := &dispatcher{
-		logw:       logw,
-		start:      time.Now(),
-		jobIndex:   make(map[int]jobKey),
-		assigned:   make(map[int]*assignment),
-		deadWorker: make(map[Worker]bool),
-		sourceOpen: source != nil,
-		done:       make(chan struct{}),
-	}
-	d.cond = sync.NewCond(&d.mu)
-	caps := poolCapacities(workers)
-	if len(caps) == 0 {
-		caps = []int{1}
-	}
+	defer pool.Close()
+	tickets := make([]*Ticket, 0, len(specs))
 	for i := range specs {
-		r, err := newRunState(i, &specs[i], caps, logw)
+		tk, err := pool.submit(&specs[i], nil)
 		if err != nil {
-			d.closeCheckpoints()
 			return out, err
 		}
-		d.runs = append(d.runs, r)
+		tickets = append(tickets, tk)
 	}
-	defer d.closeCheckpoints()
-
-	// Runs fully restored from their checkpoints finish before any
-	// worker is consulted.
-	d.mu.Lock()
-	for _, r := range d.runs {
-		d.advanceLocked(r)
-	}
-	d.mu.Unlock()
-
-	for _, w := range workers {
-		d.addWorker(w)
-	}
-
-	// The intake goroutine folds joining workers into the pool until
-	// the source closes or the pipeline ends. It owns joined until it
-	// exits (and it exits before wg.Wait below), so the close loop at
-	// the end reads it race-free.
-	var joined []Worker
-	var intake sync.WaitGroup
-	if source != nil {
-		intake.Add(1)
-		go func() {
-			defer intake.Done()
-			for {
-				select {
-				case w, ok := <-source:
-					if !ok {
-						d.mu.Lock()
-						d.sourceOpen = false
-						dead := d.live == 0
-						d.mu.Unlock()
-						if dead {
-							d.signalDone()
-						}
-						return
-					}
-					joined = append(joined, w)
-					d.addWorker(w)
-				case <-d.done:
-					d.mu.Lock()
-					d.sourceOpen = false
-					d.mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-
-	<-d.done
-	intake.Wait()
-	d.wg.Wait()
-	for _, w := range joined {
-		w.Close()
-	}
-
+	pool.seal()
 	var firstErr error
-	d.mu.Lock()
-	firstErr = d.fatal
-	for _, r := range d.runs {
-		out[r.idx] = RunResult{Summary: r.summary, Stats: r.stats, Wall: r.wall}
-		if !r.finished && firstErr == nil {
-			firstErr = fmt.Errorf("shard: %d of %d shards unassigned and no live workers remain",
-				len(r.shards)-len(r.done), len(r.shards))
+	for i, tk := range tickets {
+		res, err := tk.Wait()
+		out[i] = res
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	d.mu.Unlock()
 	return out, firstErr
 }
 
@@ -391,10 +319,55 @@ type runState struct {
 	// has not folded yet (adaptive runs only).
 	prefixShard int
 
+	// progress, when non-nil, observes the run's advance (see
+	// RunProgress). It is invoked with the dispatcher lock held and must
+	// not block or call back into the pool.
+	progress func(RunProgress)
+	// bankedIters counts iterations banked so far (fixed runs report it
+	// as progress; adaptive runs report the folded prefix instead).
+	bankedIters int
+	// jobIDs records every job id issued for this run, so a persistent
+	// pool can drop the run's jobIndex entries once it is compacted out.
+	jobIDs []int
+
 	finished bool
+	// notify is closed exactly once when the run reaches a terminal
+	// state (finished or the pool died); Ticket.Wait blocks on it.
+	notify   chan struct{}
+	notified bool
 	summary  sim.Summary
 	stats    Stats
 	wall     time.Duration
+}
+
+// signalTerminal wakes the run's ticket. Callers hold d.mu.
+func (r *runState) signalTerminal() {
+	if !r.notified {
+		r.notified = true
+		close(r.notify)
+	}
+}
+
+// emitProgress reports the run's current advance to its observer.
+// Callers hold d.mu.
+func (r *runState) emitProgress(final bool) {
+	if r.progress == nil {
+		return
+	}
+	pr := RunProgress{Cap: r.capIters, Waves: r.stats.Waves, Final: final}
+	switch {
+	case final:
+		pr.Iterations = r.summary.Iterations
+		pr.HalfWidth = r.summary.HalfWidth
+		pr.Converged = r.summary.Converged
+	case r.adaptive:
+		pr.Iterations = r.scan.End()
+		pr.HalfWidth = r.scan.EffectiveHalfWidth()
+	default:
+		pr.Iterations = r.bankedIters
+		pr.HalfWidth = math.Inf(1) // unknown until the merge
+	}
+	r.progress(pr)
 }
 
 // newRunState validates and partitions one run, restoring its
@@ -418,6 +391,7 @@ func newRunState(idx int, spec *RunSpec, caps []int, logw io.Writer) (*runState,
 		wire:     wire,
 		adaptive: spec.Options.Adaptive(),
 		capIters: spec.Options.IterationCap(),
+		notify:   make(chan struct{}),
 	}
 	shardCount := spec.Shards
 	weights := []int(nil)
@@ -460,6 +434,7 @@ func newRunState(idx int, spec *RunSpec, caps []int, logw io.Writer) (*runState,
 		r.stats.FromCheckpoint = len(done)
 		for id := range done {
 			sortParts(done[id])
+			r.bankedIters += r.shards[id].Len()
 		}
 	}
 	if r.done == nil {
@@ -474,8 +449,13 @@ func sortParts(parts []sim.Partial) {
 	sort.Slice(parts, func(i, j int) bool { return parts[i].Start < parts[j].Start })
 }
 
-// jobKey names a (run, shard) pair; job ids map onto it.
-type jobKey struct{ run, shard int }
+// jobKey names a (run, shard) pair; job ids map onto it. The run is
+// held by pointer so a persistent pool can compact finished runs out of
+// its scan list while in-flight replies still resolve.
+type jobKey struct {
+	r     *runState
+	shard int
+}
 
 // assignment tracks one in-flight job for cancellation.
 type assignment struct {
@@ -492,6 +472,22 @@ type dispatcher struct {
 	logw  io.Writer
 	fatal error
 	start time.Time
+
+	// caps snapshots the initial pool's wave-sizing weights; runs
+	// submitted later reuse them (joiners do not reshape waves).
+	caps []int
+	// nextIdx numbers runs in submission order (the pipelining
+	// priority).
+	nextIdx int
+	// sealed marks a pipeline that will receive no further submissions:
+	// serve goroutines may retire once every known run finished. A
+	// persistent pool is never sealed; its serves park until Close.
+	sealed bool
+	// persistent distinguishes a long-lived Pool (runs compact away,
+	// a drained pool is a fatal condition) from a one-shot pipeline.
+	persistent bool
+	// closing is set by Pool.Close: claims stop, serves retire.
+	closing bool
 
 	jobIndex map[int]jobKey      // every job ever issued (strays resolve here)
 	assigned map[int]*assignment // in-flight jobs only
@@ -539,11 +535,24 @@ func (d *dispatcher) addWorker(w Worker) {
 
 // exitServe retires one serve goroutine. When the last one goes and no
 // joiner can revive the pool — the source is closed, or there is no
-// pending work a joiner could take — the pipeline unwinds.
+// pending work a joiner could take — the pipeline unwinds. A persistent
+// pool instead declares itself dead (future submissions must fail fast)
+// unless it is already closing or a joiner may still arrive.
 func (d *dispatcher) exitServe() {
 	d.mu.Lock()
 	d.live--
-	drained := d.live == 0 && !(d.sourceOpen && d.pendingWorkLocked())
+	if d.live > 0 {
+		d.mu.Unlock()
+		return
+	}
+	if d.persistent {
+		if !d.sourceOpen && !d.closing {
+			d.failLocked(fmt.Errorf("shard: no live workers remain"))
+		}
+		d.mu.Unlock()
+		return
+	}
+	drained := !(d.sourceOpen && d.pendingWorkLocked())
 	d.mu.Unlock()
 	if drained {
 		d.signalDone()
@@ -601,7 +610,7 @@ func (d *dispatcher) serve(w Worker) {
 				return
 			}
 			d.mu.Lock()
-			r := d.runs[key.run]
+			r := key.r
 			if !d.deadWorker[w] {
 				d.deadWorker[w] = true
 				r.stats.WorkerFailures++
@@ -611,7 +620,7 @@ func (d *dispatcher) serve(w Worker) {
 			if _, alreadyDone := r.done[key.shard]; !alreadyDone && !r.finished && !queued(r.queue, key.shard) {
 				r.queue = append(r.queue, key.shard)
 			}
-			fmt.Fprintf(d.logw, "shard: worker %s died (%v); run %d shard %d reassigned\n", w.Name(), err, key.run, key.shard)
+			fmt.Fprintf(d.logw, "shard: worker %s died (%v); run %d shard %d reassigned\n", w.Name(), err, r.idx, key.shard)
 			d.cond.Broadcast()
 			d.mu.Unlock()
 			return
@@ -627,7 +636,7 @@ func (d *dispatcher) claim(w Worker) (*Job, jobKey, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
-		if d.fatal != nil {
+		if d.fatal != nil || d.closing {
 			return nil, jobKey{}, false
 		}
 		allFinished := true
@@ -652,21 +661,26 @@ func (d *dispatcher) claim(w Worker) (*Job, jobKey, bool) {
 			r.queue = append(r.queue[:min], r.queue[min+1:]...)
 			r.inflight++
 			jid := int(jobSeq.Add(1))
-			key := jobKey{run: r.idx, shard: id}
+			key := jobKey{r: r, shard: id}
 			d.jobIndex[jid] = key
 			d.assigned[jid] = &assignment{key: key, w: w}
+			r.jobIDs = append(r.jobIDs, jid)
 			rg := r.shards[id]
 			return &Job{ID: jid, Start: rg.Start, End: rg.End, Params: r.wire,
 				Options: r.jobOptions, Cancellable: r.adaptive}, key, true
 		}
-		if allFinished {
-			return nil, jobKey{}, false
+		if d.sealed {
+			if allFinished {
+				return nil, jobKey{}, false
+			}
+			if inflight == 0 {
+				// Nothing queued, nothing running, not all done: every
+				// other worker is gone and there is no work to steal.
+				return nil, jobKey{}, false
+			}
 		}
-		if inflight == 0 {
-			// Nothing queued, nothing running, not all done: every
-			// other worker is gone and there is no work to steal.
-			return nil, jobKey{}, false
-		}
+		// Unsealed (persistent or still-submitting) pools park here:
+		// a future Submit may bring work.
 		d.cond.Wait()
 	}
 }
@@ -697,20 +711,20 @@ const maxMalformedPerShard = 3
 func (d *dispatcher) bank(key jobKey, jobID int, parts []sim.Partial, fromRun bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	r := d.runs[key.run]
+	r := key.r
 	if fromRun {
 		r.inflight--
 		delete(d.assigned, jobID)
 	}
 	if key.shard < 0 || key.shard >= len(r.shards) {
-		fmt.Fprintf(d.logw, "shard: dropping result for unknown shard %d of run %d\n", key.shard, key.run)
+		fmt.Fprintf(d.logw, "shard: dropping result for unknown shard %d of run %d\n", key.shard, r.idx)
 		d.cond.Broadcast()
 		return
 	}
 	if r.finished {
 		// An adaptive run that already bound its stopping boundary no
 		// longer needs this shard (a cancel lost the race).
-		fmt.Fprintf(d.logw, "shard: dropping late result for finished run %d shard %d\n", key.run, key.shard)
+		fmt.Fprintf(d.logw, "shard: dropping late result for finished run %d shard %d\n", r.idx, key.shard)
 		d.cond.Broadcast()
 		return
 	}
@@ -746,6 +760,7 @@ func (d *dispatcher) bank(key jobKey, jobID int, parts []sim.Partial, fromRun bo
 	sortParts(parts)
 	r.done[key.shard] = parts
 	r.stats.Computed++
+	r.bankedIters += rg.Len()
 	// Remove the shard from the queue if a stray delivery beat a
 	// pending reassignment to it.
 	for i := range r.queue {
@@ -757,6 +772,9 @@ func (d *dispatcher) bank(key jobKey, jobID int, parts []sim.Partial, fromRun bo
 	if err := r.cp.record(key.shard, parts); err != nil {
 		d.failLocked(err)
 		return
+	}
+	if !r.adaptive {
+		r.emitProgress(false)
 	}
 	d.advanceLocked(r)
 	d.cond.Broadcast()
@@ -778,9 +796,13 @@ func (d *dispatcher) advanceLocked(r *runState) {
 		}
 		return
 	}
+	moved := false
 	for r.prefixShard < len(r.shards) {
 		parts, ok := r.done[r.prefixShard]
 		if !ok {
+			if moved {
+				r.emitProgress(false)
+			}
 			return
 		}
 		for i := range parts {
@@ -790,6 +812,7 @@ func (d *dispatcher) advanceLocked(r *runState) {
 			}
 		}
 		r.prefixShard++
+		moved = true
 	}
 	// Every shard banked without the rule binding: the cap is the run.
 	d.finishLocked(r, r.capIters)
@@ -804,7 +827,7 @@ func (d *dispatcher) stopLocked(r *runState, stopAt int) {
 	r.nextWave = len(r.waves)
 	r.stats.StoppedEarly = true
 	for jid, a := range d.assigned {
-		if a.key.run != r.idx {
+		if a.key.r != r {
 			continue
 		}
 		if c, ok := a.w.(JobCanceler); ok {
@@ -840,15 +863,24 @@ func (d *dispatcher) finishLocked(r *runState, stopAt int) {
 	// deep. Every post-finish path is guarded by r.finished before it
 	// touches r.done.
 	r.done = nil
-	all := true
-	for _, rr := range d.runs {
-		if !rr.finished {
-			all = false
-			break
+	// The checkpoint takes no more records after finish; closing it here
+	// (rather than at pool shutdown) keeps a persistent pool's fd count
+	// flat.
+	r.cp.close()
+	r.cp = nil
+	r.emitProgress(true)
+	r.signalTerminal()
+	if d.sealed {
+		all := true
+		for _, rr := range d.runs {
+			if !rr.finished {
+				all = false
+				break
+			}
 		}
-	}
-	if all {
-		d.signalDone()
+		if all {
+			d.signalDone()
+		}
 	}
 	d.cond.Broadcast()
 }
@@ -858,7 +890,7 @@ func (d *dispatcher) finishLocked(r *runState, stopAt int) {
 func (d *dispatcher) cancelled(key jobKey, jobID int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	r := d.runs[key.run]
+	r := key.r
 	r.inflight--
 	delete(d.assigned, jobID)
 	r.stats.CancelledJobs++
@@ -900,7 +932,7 @@ func (d *dispatcher) bankStray(jobID int, parts []sim.Partial) {
 func (d *dispatcher) fail(key jobKey, jobID int, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.runs[key.run].inflight--
+	key.r.inflight--
 	delete(d.assigned, jobID)
 	d.failLocked(err)
 }

@@ -1,0 +1,47 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"herald/internal/sim"
+)
+
+// RunFingerprint canonically identifies a run's *result*: every
+// result-affecting input — the wire-encoded parameters and the options,
+// with schedule-only knobs (Workers) zeroed and defaults normalized —
+// hashed with FNV-1a over canonical JSON, domain-separated from the
+// checkpoint fingerprint (which additionally binds the shard
+// partition; results are partition-independent, so a result cache must
+// not). Because execution is bit-identical across worker and shard
+// counts, two runs with equal fingerprints produce byte-identical
+// Summaries — an exact cache key, not an approximate one.
+//
+// The string is stable across processes, machines and repo versions
+// (pinned by a test); changing what it covers requires bumping the
+// domain label.
+func RunFingerprint(p WireParams, o sim.Options) string {
+	o.Workers = 0
+	if o.Confidence == 0 {
+		o.Confidence = 0.99 // the sim default; 0 and 0.99 are one run
+	}
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, "herald-run-fp-v1\n")
+	enc := json.NewEncoder(h)
+	_ = enc.Encode(p)
+	_ = enc.Encode(o)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FingerprintOf is RunFingerprint from in-memory parameters: they are
+// wire-encoded first, so the fingerprint matches what a server computes
+// for the equivalent request.
+func FingerprintOf(p sim.ArrayParams, o sim.Options) (string, error) {
+	w, err := EncodeParams(p)
+	if err != nil {
+		return "", err
+	}
+	return RunFingerprint(w, o), nil
+}

@@ -377,6 +377,16 @@ func ListenAndServe(addr string, ready func(net.Addr)) error {
 // cadence. Handshake failures (bad token, version skew) drop the
 // connection without serving a single job.
 func ListenAndServeNet(addr string, nc NetConfig, ready func(net.Addr)) error {
+	return ListenAndServeNetStop(addr, nc, ready, nil)
+}
+
+// ListenAndServeNetStop is ListenAndServeNet with graceful shutdown:
+// when stop closes, the listener stops accepting, every connection
+// finishes the job it is executing, hands queued jobs back to its
+// coordinator as cancelled (they are reassigned to surviving workers),
+// and the function returns nil once all connections have drained. nil
+// stop serves forever.
+func ListenAndServeNetStop(addr string, nc NetConfig, ready func(net.Addr), stop <-chan struct{}) error {
 	nc = nc.withDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -386,19 +396,37 @@ func ListenAndServeNet(addr string, nc NetConfig, ready func(net.Addr)) error {
 	if ready != nil {
 		ready(ln.Addr())
 	}
+	if stop != nil {
+		go func() {
+			<-stop
+			ln.Close() // unblocks Accept
+		}()
+	}
+	var conns sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if stop != nil {
+				select {
+				case <-stop:
+					conns.Wait() // every connection drains before exit
+					return nil
+				default:
+				}
+			}
+			conns.Wait()
 			return err
 		}
+		conns.Add(1)
 		go func(c net.Conn) {
+			defer conns.Done()
 			t, _, err := setupConn(c, nc, false, workerCapacity(0))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "shard: %s: %v\n", c.RemoteAddr(), err)
 				return
 			}
 			defer t.Close()
-			_ = serveJobs(t)
+			_ = serveJobsStop(t, stop)
 		}(conn)
 	}
 }
@@ -414,6 +442,14 @@ func ListenAndServeNet(addr string, nc NetConfig, ready func(net.Addr)) error {
 // coordinator finished — and the transport or handshake error
 // otherwise.
 func Join(addr string, capacity int, nc NetConfig) error {
+	return JoinStop(addr, capacity, nc, nil)
+}
+
+// JoinStop is Join with graceful shutdown: when stop closes, the worker
+// finishes its running job, hands queued jobs back to the coordinator
+// as cancelled (they are reassigned), closes the connection and returns
+// nil. nil stop serves until the coordinator closes the connection.
+func JoinStop(addr string, capacity int, nc NetConfig, stop <-chan struct{}) error {
 	nc = nc.withDefaults()
 	nc.TLS = clientTLSFor(nc.TLS, addr)
 	conn, err := net.DialTimeout("tcp", addr, nc.DialTimeout)
@@ -425,7 +461,7 @@ func Join(addr string, capacity int, nc NetConfig) error {
 		return fmt.Errorf("shard: join %s: %w", addr, err)
 	}
 	defer t.Close()
-	return serveJobs(t)
+	return serveJobsStop(t, stop)
 }
 
 // workerCapacity resolves a worker's advertised capacity: an explicit

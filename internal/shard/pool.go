@@ -1,0 +1,301 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// RunProgress is one observation of a run's advance, delivered to the
+// progress callback passed to Pool.Submit. For adaptive runs it tracks
+// the stopping scan's folded prefix (the iterations whose contribution
+// to the confidence interval is already proven); for fixed runs it
+// tracks banked iterations. The final observation carries the merged
+// summary's numbers.
+type RunProgress struct {
+	// Iterations banked (fixed runs) or folded into the stopping scan
+	// (adaptive runs). Monotone non-decreasing across observations.
+	Iterations int
+	// Cap is the run's iteration ceiling (Iterations for fixed runs,
+	// IterationCap for adaptive ones).
+	Cap int
+	// HalfWidth is the scan's current effective half-width (adaptive
+	// runs; +Inf while the rule's safeguards are unmet) or the final
+	// summary's half-width. +Inf for non-final fixed-run observations.
+	HalfWidth float64
+	// Converged is only meaningful on the final observation.
+	Converged bool
+	// Waves counts handout waves opened so far.
+	Waves int
+	// Final marks the last observation of the run: the run finished and
+	// its Ticket is resolvable.
+	Final bool
+}
+
+// Pool is a persistent shard-execution pool: the dispatcher of
+// RunPipeline kept alive across runs, so a long-lived process (a
+// simulation server) can submit runs as they arrive and share one
+// worker set — local processes, remote dials, elastic joiners — among
+// all of them. Runs are prioritized in submission order exactly as
+// RunPipeline prioritizes its specs; every run's Summary is
+// bit-identical to executing it alone.
+//
+// The zero value is not usable; construct with NewPool.
+type Pool struct {
+	d         *dispatcher
+	intake    sync.WaitGroup
+	joined    []Worker // owned by the intake goroutine until it exits
+	closeOnce sync.Once
+}
+
+// NewPool builds a persistent pool over the initial workers plus an
+// optional elastic source (see RunPipelineSource for the source
+// contract). The initial workers remain the caller's to close — after
+// Close returns; workers delivered by source are closed by the pool.
+// Wave-sizing weights are snapshotted from the initial workers.
+func NewPool(workers []Worker, source <-chan Worker, logw io.Writer) (*Pool, error) {
+	return newPool(workers, source, logw, true)
+}
+
+func newPool(workers []Worker, source <-chan Worker, logw io.Writer, persistent bool) (*Pool, error) {
+	if len(workers) == 0 && source == nil {
+		return nil, fmt.Errorf("shard: no workers")
+	}
+	if logw == nil {
+		logw = io.Discard
+	}
+	d := &dispatcher{
+		logw:       logw,
+		start:      time.Now(),
+		persistent: persistent,
+		jobIndex:   make(map[int]jobKey),
+		assigned:   make(map[int]*assignment),
+		deadWorker: make(map[Worker]bool),
+		sourceOpen: source != nil,
+		done:       make(chan struct{}),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.caps = poolCapacities(workers)
+	if len(d.caps) == 0 {
+		d.caps = []int{1}
+	}
+	p := &Pool{d: d}
+	for _, w := range workers {
+		d.addWorker(w)
+	}
+	// The intake goroutine folds joining workers into the pool until
+	// the source closes or the pool unwinds. It owns p.joined until it
+	// exits (and it exits before Close's wg.Wait), so the close loop
+	// reads it race-free.
+	if source != nil {
+		p.intake.Add(1)
+		go func() {
+			defer p.intake.Done()
+			for {
+				select {
+				case w, ok := <-source:
+					if !ok {
+						d.mu.Lock()
+						d.sourceOpen = false
+						dead := d.live == 0
+						if dead && d.persistent && !d.closing {
+							d.failLocked(fmt.Errorf("shard: no live workers remain"))
+						}
+						d.mu.Unlock()
+						if dead && !d.persistent {
+							d.signalDone()
+						}
+						return
+					}
+					p.joined = append(p.joined, w)
+					d.addWorker(w)
+				case <-d.done:
+					d.mu.Lock()
+					d.sourceOpen = false
+					d.mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	return p, nil
+}
+
+// Ticket is a handle on one submitted run.
+type Ticket struct {
+	d *dispatcher
+	r *runState
+}
+
+// Submit validates, partitions and enqueues one run on the pool.
+// progress, when non-nil, observes the run's advance; it is invoked
+// with the pool's dispatch lock held and must return quickly without
+// blocking or calling back into the pool (hand observations to a
+// channel or buffer). Submission order is the pipelining priority.
+func (p *Pool) Submit(spec RunSpec, progress func(RunProgress)) (*Ticket, error) {
+	return p.submit(&spec, progress)
+}
+
+func (p *Pool) submit(spec *RunSpec, progress func(RunProgress)) (*Ticket, error) {
+	d := p.d
+	d.mu.Lock()
+	if err := p.submitErrLocked(); err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	caps := d.caps
+	idx := d.nextIdx
+	d.nextIdx++
+	d.mu.Unlock()
+
+	// Validation, partitioning and checkpoint restore run outside the
+	// dispatch lock (they may read files).
+	r, err := newRunState(idx, spec, caps, d.logw)
+	if err != nil {
+		return nil, err
+	}
+	r.progress = progress
+
+	d.mu.Lock()
+	if err := p.submitErrLocked(); err != nil {
+		d.mu.Unlock()
+		r.cp.close()
+		return nil, err
+	}
+	if d.persistent {
+		d.compactLocked()
+	}
+	// Insert in index order: concurrent submits may reach this point
+	// out of turn, and the scan order is the priority order.
+	pos := len(d.runs)
+	for pos > 0 && d.runs[pos-1].idx > r.idx {
+		pos--
+	}
+	d.runs = append(d.runs, nil)
+	copy(d.runs[pos+1:], d.runs[pos:])
+	d.runs[pos] = r
+	// A run fully restored from its checkpoint finishes before any
+	// worker is consulted.
+	d.advanceLocked(r)
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return &Ticket{d: d, r: r}, nil
+}
+
+// submitErrLocked reports why the pool can take no more runs, if it
+// cannot. Callers hold d.mu.
+func (p *Pool) submitErrLocked() error {
+	d := p.d
+	if d.closing {
+		return fmt.Errorf("shard: pool closed")
+	}
+	if d.fatal != nil {
+		return fmt.Errorf("shard: pool dead: %w", d.fatal)
+	}
+	return nil
+}
+
+// compactLocked drops finished runs from the scan list (their tickets
+// hold the results) so a long-lived pool's dispatch scan stays as short
+// as its active run set. Callers hold d.mu.
+func (d *dispatcher) compactLocked() {
+	kept := d.runs[:0]
+	for _, r := range d.runs {
+		if r.finished {
+			for _, jid := range r.jobIDs {
+				delete(d.jobIndex, jid)
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	for i := len(kept); i < len(d.runs); i++ {
+		d.runs[i] = nil
+	}
+	d.runs = kept
+}
+
+// seal marks a one-shot pipeline complete on the submission side: serve
+// goroutines may retire once every submitted run finished.
+func (p *Pool) seal() {
+	p.d.mu.Lock()
+	p.d.sealed = true
+	allFinished := true
+	for _, r := range p.d.runs {
+		if !r.finished {
+			allFinished = false
+			break
+		}
+	}
+	if allFinished {
+		p.d.mu.Unlock()
+		p.d.signalDone()
+		p.d.cond.Broadcast()
+		return
+	}
+	p.d.mu.Unlock()
+	p.d.cond.Broadcast()
+}
+
+// Err reports the pool's fatal condition, nil while it is usable.
+func (p *Pool) Err() error {
+	p.d.mu.Lock()
+	defer p.d.mu.Unlock()
+	return p.d.fatal
+}
+
+// Wait blocks until the run reaches a terminal state and returns its
+// result. A nil error means the run finished and Summary is its merged
+// result, bit-identical to running it alone. Wait is safe to call from
+// several goroutines.
+func (t *Ticket) Wait() (RunResult, error) {
+	select {
+	case <-t.r.notify:
+	case <-t.d.done:
+	}
+	d := t.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r := t.r
+	res := RunResult{Summary: r.summary, Stats: r.stats, Wall: r.wall}
+	switch {
+	case r.finished:
+		return res, nil
+	case d.fatal != nil:
+		return res, d.fatal
+	case d.closing:
+		return res, fmt.Errorf("shard: pool closed")
+	default:
+		return res, fmt.Errorf("shard: %d of %d shards unassigned and no live workers remain",
+			len(r.shards)-len(r.done), len(r.shards))
+	}
+}
+
+// Close shuts the pool down: no further submissions are accepted,
+// in-flight jobs are cancelled (best-effort), serve goroutines retire,
+// joined workers are closed and remaining checkpoints released. Runs
+// that had not finished resolve their tickets with an error. Close is
+// idempotent; the initial workers are the caller's to close afterwards.
+func (p *Pool) Close() error {
+	p.closeOnce.Do(func() {
+		d := p.d
+		d.mu.Lock()
+		d.closing = true
+		for jid, a := range d.assigned {
+			if c, ok := a.w.(JobCanceler); ok {
+				go c.CancelJob(jid)
+			}
+		}
+		d.mu.Unlock()
+		d.signalDone()
+		d.cond.Broadcast()
+		p.intake.Wait()
+		d.wg.Wait()
+		for _, w := range p.joined {
+			w.Close()
+		}
+		d.closeCheckpoints()
+	})
+	return nil
+}

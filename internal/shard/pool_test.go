@@ -1,0 +1,396 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"herald/internal/sim"
+)
+
+// TestPoolSubmitMatchesSim pins the persistent-pool contract: runs
+// submitted one by one to a long-lived Pool return Summaries
+// byte-identical to in-process sim.Run, and the pool stays usable
+// between them.
+func TestPoolSubmitMatchesSim(t *testing.T) {
+	workers := []Worker{NewInProcessWorker("a", 1), NewInProcessWorker("b", 1)}
+	pool, err := NewPool(workers, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for _, pol := range []sim.Policy{sim.Conventional, sim.AutoFailover} {
+		p := testParams(pol)
+		o := testOptions()
+		base, err := sim.Run(p, o)
+		if err != nil {
+			t.Fatalf("%v: baseline: %v", pol, err)
+		}
+		tk, err := pool.Submit(RunSpec{Params: p, Options: o, Shards: 5}, nil)
+		if err != nil {
+			t.Fatalf("%v: submit: %v", pol, err)
+		}
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatalf("%v: wait: %v", pol, err)
+		}
+		if g, w := summaryBytes(t, res.Summary), summaryBytes(t, base); string(g) != string(w) {
+			t.Errorf("%v: pool summary diverged\n got %s\nwant %s", pol, g, w)
+		}
+	}
+}
+
+// TestPoolConcurrentSubmits drives several concurrent submissions
+// through one pool; every ticket must resolve to its own
+// bit-identical result.
+func TestPoolConcurrentSubmits(t *testing.T) {
+	workers := []Worker{NewInProcessWorker("a", 2), NewInProcessWorker("b", 2)}
+	pool, err := NewPool(workers, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	var wg sync.WaitGroup
+	errs := make([]error, len(seeds))
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed uint64) {
+			defer wg.Done()
+			p := testParams(sim.Conventional)
+			o := testOptions()
+			o.Seed = seed
+			base, err := sim.Run(p, o)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			tk, err := pool.Submit(RunSpec{Params: p, Options: o, Shards: 3}, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := tk.Wait()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if g, w := summaryBytes(t, res.Summary), summaryBytes(t, base); string(g) != string(w) {
+				errs[i] = fmt.Errorf("seed %d: summary diverged", seed)
+			}
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestPoolAdaptiveProgress submits an adaptive run with a progress
+// observer and checks the contract the streaming API builds on:
+// iterations are monotone non-decreasing, the last event is final and
+// carries the converged summary's numbers, and the stopping boundary
+// matches the in-process baseline.
+func TestPoolAdaptiveProgress(t *testing.T) {
+	p := testParams(sim.Conventional)
+	o := adaptiveOptions()
+	base, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := []Worker{NewInProcessWorker("a", 1), NewInProcessWorker("b", 1)}
+	pool, err := NewPool(workers, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	var mu sync.Mutex
+	var events []RunProgress
+	tk, err := pool.Submit(RunSpec{Params: p, Options: o}, func(pr RunProgress) {
+		mu.Lock()
+		events = append(events, pr)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	last := events[len(events)-1]
+	if !last.Final {
+		t.Errorf("last event not final: %+v", last)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Iterations < events[i-1].Iterations {
+			t.Errorf("iterations not monotone: event %d %d after %d", i, events[i].Iterations, events[i-1].Iterations)
+		}
+	}
+	if last.Iterations != base.Iterations || last.Iterations != res.Summary.Iterations {
+		t.Errorf("final iterations %d, baseline %d, summary %d", last.Iterations, base.Iterations, res.Summary.Iterations)
+	}
+	if !last.Converged {
+		t.Error("final event not converged")
+	}
+	if last.HalfWidth != res.Summary.HalfWidth {
+		t.Errorf("final half-width %g, summary %g", last.HalfWidth, res.Summary.HalfWidth)
+	}
+}
+
+// blockingWorker runs a job only after release is closed; it lets pool
+// shutdown tests hold a run deterministically in flight.
+type blockingWorker struct {
+	inner   Worker
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (w *blockingWorker) Name() string { return "blocking" }
+func (w *blockingWorker) Run(job *Job) ([]sim.Partial, error) {
+	w.once.Do(func() { close(w.started) })
+	<-w.release
+	return w.inner.Run(job)
+}
+func (w *blockingWorker) Close() error { return w.inner.Close() }
+
+// TestPoolCloseResolvesTickets closes a pool while a run is held in
+// flight; the ticket must resolve with an error instead of hanging, and
+// later submissions must be rejected.
+func TestPoolCloseResolvesTickets(t *testing.T) {
+	bw := &blockingWorker{
+		inner:   NewInProcessWorker("inner", 1),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	pool, err := NewPool([]Worker{bw}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := pool.Submit(RunSpec{Params: testParams(sim.Conventional), Options: testOptions(), Shards: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bw.started
+	closed := make(chan struct{})
+	go func() {
+		pool.Close()
+		close(closed)
+	}()
+	res, err := tk.Wait()
+	if err == nil {
+		t.Fatalf("ticket resolved cleanly despite close: %+v", res.Summary)
+	}
+	close(bw.release) // let the worker finish so Close can join it
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool.Close did not return")
+	}
+	if _, err := pool.Submit(RunSpec{Params: testParams(sim.Conventional), Options: testOptions()}, nil); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+}
+
+// TestPoolDeadWithoutWorkers pins the persistent pool's failure mode:
+// when the last worker dies and no joiner can arrive, in-flight tickets
+// resolve with an error and future submissions fail fast.
+func TestPoolDeadWithoutWorkers(t *testing.T) {
+	pool, err := NewPool([]Worker{dyingWorker{}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	tk, err := pool.Submit(RunSpec{Params: testParams(sim.Conventional), Options: testOptions()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err == nil {
+		t.Fatal("ticket resolved cleanly on a dead pool")
+	}
+	if pool.Err() == nil {
+		t.Fatal("pool reports no error after its last worker died")
+	}
+	if _, err := pool.Submit(RunSpec{Params: testParams(sim.Conventional), Options: testOptions()}, nil); err == nil {
+		t.Fatal("submit on a dead pool succeeded")
+	}
+}
+
+// dyingWorker fails every job with a transport-style error, so the
+// coordinator retires it as dead.
+type dyingWorker struct{}
+
+func (dyingWorker) Name() string                    { return "dying" }
+func (dyingWorker) Run(*Job) ([]sim.Partial, error) { return nil, errors.New("boom") }
+func (dyingWorker) Close() error                    { return nil }
+
+// TestJoinStopDrainsGracefully exercises the worker-side graceful
+// shutdown: a join-mode worker told to stop mid-run finishes or hands
+// back its jobs and returns nil, while the run completes bit-identical
+// on the surviving worker.
+func TestJoinStopDrainsGracefully(t *testing.T) {
+	p := testParams(sim.Conventional)
+	o := testOptions()
+	base, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, joiners, err := ListenWorkers("127.0.0.1:0", NetConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	stop := make(chan struct{})
+	joinErr := make(chan error, 1)
+	go func() {
+		joinErr <- JoinStop(ln.Addr().String(), 1, NetConfig{}, stop)
+	}()
+	joined := <-joiners // the worker's handshake completed
+	defer joined.Close()
+
+	done := make(chan struct{})
+	var res []RunResult
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = RunPipelineSource(
+			[]RunSpec{{Params: p, Options: o, Shards: 16}},
+			[]Worker{joined, NewInProcessWorker("local", 1)}, nil, nil)
+	}()
+	close(stop) // drain the joined worker mid-run
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if g, w := summaryBytes(t, res[0].Summary), summaryBytes(t, base); string(g) != string(w) {
+		t.Errorf("summary diverged after graceful drain\n got %s\nwant %s", g, w)
+	}
+	select {
+	case err := <-joinErr:
+		if err != nil {
+			t.Errorf("JoinStop returned %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("JoinStop did not return")
+	}
+}
+
+// TestListenAndServeNetStop exercises the serve-mode graceful shutdown:
+// the listener told to stop returns nil after its connections drain,
+// and a run in progress completes on the surviving worker.
+func TestListenAndServeNetStop(t *testing.T) {
+	p := testParams(sim.Conventional)
+	o := testOptions()
+	base, err := sim.Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	addrCh := make(chan net.Addr, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- ListenAndServeNetStop("127.0.0.1:0", NetConfig{}, func(a net.Addr) { addrCh <- a }, stop)
+	}()
+	addr := <-addrCh
+	remote, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	done := make(chan struct{})
+	var res []RunResult
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = RunPipelineSource(
+			[]RunSpec{{Params: p, Options: o, Shards: 16}},
+			[]Worker{remote, NewInProcessWorker("local", 1)}, nil, nil)
+	}()
+	close(stop) // drain the TCP worker mid-run
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if g, w := summaryBytes(t, res[0].Summary), summaryBytes(t, base); string(g) != string(w) {
+		t.Errorf("summary diverged after serve-side drain\n got %s\nwant %s", g, w)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Errorf("ListenAndServeNetStop returned %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ListenAndServeNetStop did not return")
+	}
+}
+
+// TestRunFingerprintStable pins the exported fingerprint across
+// processes and versions: result caches key on it, so it must never
+// drift for an unchanged configuration.
+func TestRunFingerprintStable(t *testing.T) {
+	p := testParams(sim.Conventional)
+	o := testOptions()
+	fp, err := FingerprintOf(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "1d7f75bf838b0c5f"
+	if fp != want {
+		t.Errorf("fingerprint drifted: got %s, want %s", fp, want)
+	}
+}
+
+// TestRunFingerprintScheduleIndependent checks what the fingerprint
+// must and must not cover.
+func TestRunFingerprintScheduleIndependent(t *testing.T) {
+	p := testParams(sim.Conventional)
+	o := testOptions()
+	base, err := FingerprintOf(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule-only knobs do not change the result, so not the key.
+	o2 := o
+	o2.Workers = 17
+	if fp, _ := FingerprintOf(p, o2); fp != base {
+		t.Error("Workers changed the fingerprint")
+	}
+	// The confidence default and its explicit value are one run.
+	o3 := o
+	o3.Confidence = 0.99
+	if fp, _ := FingerprintOf(p, o3); fp != base {
+		t.Error("default vs explicit confidence changed the fingerprint")
+	}
+	// Result-affecting fields must change the key.
+	o4 := o
+	o4.Seed++
+	if fp, _ := FingerprintOf(p, o4); fp == base {
+		t.Error("seed change kept the fingerprint")
+	}
+	o5 := o
+	o5.Iterations *= 2
+	if fp, _ := FingerprintOf(p, o5); fp == base {
+		t.Error("iteration change kept the fingerprint")
+	}
+	// Domain separation from the checkpoint fingerprint.
+	w, err := EncodeParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RunFingerprint(w, o) == Fingerprint(w, o, 1) {
+		t.Error("run fingerprint collides with the checkpoint fingerprint")
+	}
+}

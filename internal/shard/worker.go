@@ -35,8 +35,29 @@ func Serve(t Transport) error {
 // feeds a FIFO executor and handles cancels, pings and malformed
 // messages inline.
 func serveJobs(t Transport) error {
+	return serveJobsStop(t, nil)
+}
+
+// serveJobsStop is serveJobs with a graceful-shutdown channel: when
+// stop closes, the worker finishes the job it is running, answers every
+// queued job with a cancelled message (the coordinator reassigns those
+// shards elsewhere), and closes the transport — which unwinds the
+// receive loop cleanly, so the caller sees a nil return. nil stop is
+// plain serveJobs.
+func serveJobsStop(t Transport, stop <-chan struct{}) error {
 	ex := newJobExecutor(t)
 	defer ex.shutdown()
+	if stop != nil {
+		go func() {
+			select {
+			case <-stop:
+				ex.drain()
+				t.Close()
+			case <-ex.done:
+				// Connection ended first; nothing to drain.
+			}
+		}()
+	}
 	for {
 		m, err := t.Recv()
 		if err != nil {
@@ -81,6 +102,7 @@ type jobExecutor struct {
 	stop      map[int]chan struct{}
 	cancelled map[int]bool
 	closed    bool
+	draining  bool
 	done      chan struct{}
 }
 
@@ -100,7 +122,7 @@ func (e *jobExecutor) run() {
 	defer close(e.done)
 	for {
 		e.mu.Lock()
-		for len(e.queue) == 0 && !e.closed {
+		for len(e.queue) == 0 && !e.closed && !e.draining {
 			e.cond.Wait()
 		}
 		if len(e.queue) == 0 {
@@ -130,7 +152,7 @@ func (e *jobExecutor) run() {
 
 func (e *jobExecutor) enqueue(j *Job) {
 	e.mu.Lock()
-	if e.cancelled[j.ID] {
+	if e.cancelled[j.ID] || e.draining {
 		delete(e.cancelled, j.ID)
 		e.mu.Unlock()
 		_ = e.t.Send(&Message{Type: MsgCancelled, ID: j.ID})
@@ -161,6 +183,24 @@ func (e *jobExecutor) cancel(id int) {
 	}
 	e.cancelled[id] = true
 	e.mu.Unlock()
+}
+
+// drain gracefully winds the executor down: the running job (if any)
+// completes and its result is sent, every queued job is handed back to
+// the coordinator as cancelled for reassignment, and new arrivals are
+// answered cancelled immediately. drain returns once the executor
+// goroutine has exited — the last in-flight reply is on the wire.
+func (e *jobExecutor) drain() {
+	e.mu.Lock()
+	e.draining = true
+	q := e.queue
+	e.queue = nil
+	e.cond.Signal()
+	e.mu.Unlock()
+	for _, j := range q {
+		_ = e.t.Send(&Message{Type: MsgCancelled, ID: j.ID})
+	}
+	<-e.done
 }
 
 // shutdown interrupts the running job, drops the queue and waits for

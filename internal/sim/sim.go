@@ -24,6 +24,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -61,6 +62,22 @@ func (p Policy) String() string {
 		return "dual-parity"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a CLI or API token onto a Policy. Both the flag
+// spellings (failover, dualparity) and the String() spellings
+// (auto-failover, dual-parity) are accepted.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "conventional":
+		return Conventional, nil
+	case "failover", "auto-failover":
+		return AutoFailover, nil
+	case "dualparity", "dual-parity":
+		return DualParity, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown policy %q (want conventional, failover or dualparity)", s)
 	}
 }
 
@@ -392,6 +409,50 @@ type Summary struct {
 	// DowntimeHistogram is the per-iteration total-downtime histogram
 	// when Options.HistogramBins was set; nil otherwise.
 	DowntimeHistogram *stats.Histogram
+}
+
+// MarshalJSON encodes the summary with non-finite derived fields as
+// JSON null — Nines is +Inf when the estimate is exactly 1 (no
+// downtime ever observed), which encoding/json would otherwise refuse
+// to emit — keeping every summary wire-representable. Summaries whose
+// fields are all finite encode byte-identically to the plain struct.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	finiteOrNull := func(v float64) *float64 {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return nil
+		}
+		return &v
+	}
+	// Mirrors Summary field for field (names and order) so the finite
+	// encoding is unchanged.
+	type wire struct {
+		Availability      float64
+		HalfWidth         *float64
+		Nines             *float64
+		MeanDowntimeDU    float64
+		MeanDowntimeDL    float64
+		Iterations        int
+		MissionTime       float64
+		Confidence        float64
+		TargetHalfWidth   float64
+		Converged         bool
+		Events            EventCounts
+		DowntimeHistogram *stats.Histogram
+	}
+	return json.Marshal(wire{
+		Availability:      s.Availability,
+		HalfWidth:         finiteOrNull(s.HalfWidth),
+		Nines:             finiteOrNull(s.Nines),
+		MeanDowntimeDU:    s.MeanDowntimeDU,
+		MeanDowntimeDL:    s.MeanDowntimeDL,
+		Iterations:        s.Iterations,
+		MissionTime:       s.MissionTime,
+		Confidence:        s.Confidence,
+		TargetHalfWidth:   s.TargetHalfWidth,
+		Converged:         s.Converged,
+		Events:            s.Events,
+		DowntimeHistogram: s.DowntimeHistogram,
+	})
 }
 
 // Interval returns the availability confidence interval.

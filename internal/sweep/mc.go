@@ -46,6 +46,12 @@ type MCResult struct {
 	// Points share the pool and overlap, so offsets are cumulative:
 	// the last point's Done is the sweep's total wall time.
 	Done time.Duration
+	// Fingerprint is the point's canonical run identity
+	// (shard.FingerprintOf): equal fingerprints mean byte-identical
+	// Summaries, so it keys result caches and joins sweep rows to
+	// availserve responses. Empty when the point's parameters fail to
+	// encode (the run then failed too).
+	Fingerprint string
 }
 
 // MonteCarlo executes the points through one shared worker pool,
@@ -69,11 +75,13 @@ func MonteCarlo(points []MCPoint, workers []shard.Worker, logw io.Writer) ([]MCR
 	res, err := shard.RunPipeline(specs, workers, logw)
 	out := make([]MCResult, len(res))
 	for i := range res {
+		fp, _ := shard.FingerprintOf(points[i].Params, points[i].Options)
 		out[i] = MCResult{
-			Label:   points[i].Label,
-			Summary: res[i].Summary,
-			Stats:   res[i].Stats,
-			Done:    res[i].Wall,
+			Label:       points[i].Label,
+			Summary:     res[i].Summary,
+			Stats:       res[i].Stats,
+			Done:        res[i].Wall,
+			Fingerprint: fp,
 		}
 	}
 	return out, err

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke-test the availserve daemon end to end: build it, start it,
+# push one run through the HTTP API, verify the identical repeat is
+# served from the cache, and check SIGTERM drains to a clean exit 0.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${AVAILSERVE_SMOKE_PORT:-18099}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/availserve" ./cmd/availserve
+
+"$TMP/availserve" -listen "127.0.0.1:$PORT" -local-procs 2 2>"$TMP/serve.log" &
+PID=$!
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+for _ in $(seq 1 100); do
+  curl -sf "http://127.0.0.1:$PORT/v1/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "http://127.0.0.1:$PORT/v1/healthz" | grep -q '"status":"ok"' || {
+  echo "FAIL: daemon never became healthy"; cat "$TMP/serve.log"; exit 1
+}
+
+REQ='{
+  "params": {
+    "disks": 4,
+    "ttf": {"family": "exponential", "params": [1e-6]},
+    "repair": {"family": "deterministic", "params": [30]},
+    "tape_restore": {"family": "deterministic", "params": [48]},
+    "he_recovery": {"family": "deterministic", "params": [8]},
+    "hep": 0.01
+  },
+  "options": {"iterations": 5000, "mission_time": 87600, "seed": 42}
+}'
+
+echo "--- first request (fresh run) ---"
+R1="$(curl -sf -X POST "http://127.0.0.1:$PORT/v1/run" -d "$REQ")"
+echo "$R1" | head -c 400; echo
+echo "$R1" | grep -q '"Availability":'   || { echo "FAIL: no Availability in response"; exit 1; }
+echo "$R1" | grep -q '"cached":false'    || { echo "FAIL: first request claimed cached"; exit 1; }
+echo "$R1" | grep -q '"fingerprint":"'   || { echo "FAIL: no fingerprint"; exit 1; }
+
+echo "--- repeat request (cache hit) ---"
+R2="$(curl -sf -X POST "http://127.0.0.1:$PORT/v1/run" -d "$REQ")"
+echo "$R2" | grep -q '"cached":true'     || { echo "FAIL: repeat request not cached"; exit 1; }
+SUM1="${R1#*\"summary\":}"; SUM2="${R2#*\"summary\":}"
+[ "$SUM1" = "$SUM2" ]                    || { echo "FAIL: cached summary differs"; exit 1; }
+
+echo "--- cache stats ---"
+STATS="$(curl -sf "http://127.0.0.1:$PORT/v1/cache")"
+echo "$STATS"
+echo "$STATS" | grep -q '"hits":1'       || { echo "FAIL: expected exactly one cache hit"; exit 1; }
+echo "$STATS" | grep -q '"inserts":1'    || { echo "FAIL: expected exactly one insert"; exit 1; }
+
+echo "--- graceful drain (SIGTERM) ---"
+kill -TERM $PID
+CODE=0
+wait $PID || CODE=$?
+[ "$CODE" -eq 0 ] || { echo "FAIL: daemon exited $CODE after SIGTERM"; cat "$TMP/serve.log"; exit 1; }
+grep -q "drained, exiting" "$TMP/serve.log" || { echo "FAIL: no drain message"; cat "$TMP/serve.log"; exit 1; }
+
+echo "PASS: availserve smoke"
