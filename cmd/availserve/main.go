@@ -7,19 +7,24 @@
 //	                  Accept: text/event-stream streams progress
 //	POST /v1/sweep    execute a batch of points in one request
 //	GET  /v1/cache    result-cache statistics
-//	GET  /v1/healthz  liveness and drain state
+//	GET  /v1/healthz  liveness and drain state (alias /healthz)
+//	GET  /readyz      readiness: pool population and drain state
 //
 // Results are cached under the canonical run fingerprint and
-// concurrent identical requests share a single execution. Workers are
-// local processes (-local-procs), dialed remotes (-shard-connect:
-// availsim -shard-serve peers), and/or elastic joiners accepted on
-// -shard-listen (availsim -shard-join). SIGTERM or SIGINT drains
-// gracefully: in-flight runs finish, new runs get 503, then the
-// process exits 0.
+// concurrent identical requests share a single execution; -cache-file
+// persists the cache across restarts. Workers are local processes
+// (-local-procs), dialed remotes (-shard-connect: availsim
+// -shard-serve peers), and/or elastic joiners accepted on
+// -shard-listen (availsim -shard-join, which reconnects with backoff
+// by default). -local-fallback keeps runs progressing in-process if
+// every worker departs; -auth-token locks the /v1 API; -run-timeout
+// bounds each run and a client disconnect cancels its in-flight shard
+// jobs. SIGTERM or SIGINT drains gracefully: in-flight runs finish,
+// new runs get 503, then the process exits 0.
 //
 //	availserve -listen :8080
-//	availserve -listen :8080 -shard-listen :9009 -shard-token s3cret
-//	availserve -listen :8080 -shard-connect box1:9009,box2:9009
+//	availserve -listen :8080 -shard-listen :9009 -shard-token s3cret -local-fallback 4
+//	availserve -listen :8080 -shard-connect box1:9009,box2:9009 -auth-token t0ps3cret
 package main
 
 import (
@@ -54,10 +59,16 @@ func main() {
 		shardHB      = flag.Duration("shard-heartbeat", 0, "shard liveness heartbeat interval (0 = 3s)")
 
 		cacheEntries = flag.Int("cache-entries", 256, "result-cache capacity (fingerprint-keyed LRU)")
+		cacheFile    = flag.String("cache-file", "", "persist the result cache to this ndjson snapshot across restarts")
+		cacheEvery   = flag.Int("cache-snapshot-every", 32, "snapshot the cache every N insertions (with -cache-file)")
 		maxInFlight  = flag.Int("max-inflight", 4, "concurrently executing runs")
 		maxQueue     = flag.Int("max-queue", 16, "requests waiting for a run slot before 429 (negative: refuse immediately)")
+		maxPerClient = flag.Int("max-inflight-per-client", 0, "per-client bound on executing+queued runs (0 = no per-client bound)")
 		retryAfter   = flag.Duration("retry-after", 5*time.Second, "Retry-After hint on 429 responses")
 		maxSweep     = flag.Int("max-sweep-points", 64, "points allowed in one /v1/sweep request")
+		runTimeout   = flag.Duration("run-timeout", 0, "per-run execution deadline; overdue runs abort via the shard cancel path (0 = none)")
+		authToken    = flag.String("auth-token", "", "require 'Authorization: Bearer <token>' on /v1 endpoints (health stays open)")
+		localFB      = flag.Int("local-fallback", 0, "arm an in-process worker with this parallelism when the pool drains (degraded mode; 0 = off)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "bound on the graceful drain after SIGTERM")
 	)
 	flag.Parse()
@@ -99,17 +110,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "availserve: accepting shard workers on %s\n", shardLn.Addr())
 	}
 
-	pool, err := shard.NewPool(workers, source, os.Stderr)
+	pool, err := shard.NewPoolOptions(workers, source, os.Stderr, shard.PoolOptions{LocalFallback: *localFB})
 	exitOn(err)
 
 	srv, err := serve.NewServer(serve.Config{
-		Pool:           pool,
-		CacheEntries:   *cacheEntries,
-		MaxInFlight:    *maxInFlight,
-		MaxQueued:      *maxQueue,
-		RetryAfter:     *retryAfter,
-		MaxSweepPoints: *maxSweep,
-		Log:            os.Stderr,
+		Pool:                 pool,
+		CacheEntries:         *cacheEntries,
+		CacheFile:            *cacheFile,
+		CacheSnapshotEvery:   *cacheEvery,
+		MaxInFlight:          *maxInFlight,
+		MaxQueued:            *maxQueue,
+		MaxInFlightPerClient: *maxPerClient,
+		RetryAfter:           *retryAfter,
+		MaxSweepPoints:       *maxSweep,
+		RunTimeout:           *runTimeout,
+		AuthToken:            *authToken,
+		Log:                  os.Stderr,
 	})
 	exitOn(err)
 

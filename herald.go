@@ -251,6 +251,17 @@ func JoinShardCoordinator(addr string, capacity int, nc ShardNetConfig) error {
 	return shard.Join(addr, capacity, nc)
 }
 
+// JoinShardCoordinatorLoop is the supervised form of
+// JoinShardCoordinator: transport and handshake failures are retried
+// with capped exponential backoff (deterministic jitter, see
+// ShardNetConfig's Retry fields), so the worker outlives coordinator
+// restarts and partitions. A clean coordinator close — or a close of
+// stop — ends the loop with nil. logw (nil = discard) receives one
+// line per failed session.
+func JoinShardCoordinatorLoop(addr string, capacity int, nc ShardNetConfig, stop <-chan struct{}, logw io.Writer) error {
+	return shard.JoinLoop(addr, capacity, nc, stop, logw)
+}
+
 // ListenShardWorkers accepts workers joining via JoinShardCoordinator
 // (or `availsim -shard-join`) on addr, delivering each on the returned
 // channel, ready for ShardConfig.WorkerSource. Close the listener to
@@ -455,6 +466,19 @@ type ShardRunProgress = shard.RunProgress
 // optional elastic worker source. Close the pool to release them.
 func NewShardPool(workers []ShardWorker, source <-chan ShardWorker, logw io.Writer) (*ShardPool, error) {
 	return shard.NewPool(workers, source, logw)
+}
+
+// ShardPoolOptions tunes a persistent pool (degraded-mode in-process
+// fallback when the pool drains).
+type ShardPoolOptions = shard.PoolOptions
+
+// ShardPoolHealth is a snapshot of a pool's capacity to make progress
+// (the readiness probe's substance).
+type ShardPoolHealth = shard.PoolHealth
+
+// NewShardPoolOptions is NewShardPool with explicit tuning.
+func NewShardPoolOptions(workers []ShardWorker, source <-chan ShardWorker, logw io.Writer, opts ShardPoolOptions) (*ShardPool, error) {
+	return shard.NewPoolOptions(workers, source, logw, opts)
 }
 
 // ServiceConfig configures the availability-simulation HTTP service;

@@ -11,7 +11,12 @@
 package serve
 
 import (
+	"bufio"
 	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
 	"sync"
 )
 
@@ -24,11 +29,21 @@ type CacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Inserts   uint64 `json:"inserts"`
+	// Loaded counts entries restored from the snapshot file at boot.
+	Loaded int `json:"loaded,omitempty"`
 }
 
 // resultCache is an LRU map from run fingerprint to the marshalled
 // Summary bytes of the finished run. Entries are immutable once
 // inserted; the stored slice is shared, never mutated.
+//
+// When a snapshot path is configured the cache persists across process
+// restarts: the whole LRU is written as an ndjson snapshot (header line
+// then one entry per line, least- to most-recently-used, so a reload
+// reconstructs the recency order) every snapEvery insertions and on
+// drain, using the checkpoint idiom — write a temp file, fsync, rename
+// — so a crash mid-snapshot leaves the previous snapshot intact and a
+// torn tail only costs the entries behind it.
 type resultCache struct {
 	mu        sync.Mutex
 	cap       int
@@ -38,6 +53,15 @@ type resultCache struct {
 	misses    uint64
 	evictions uint64
 	inserts   uint64
+	loaded    int
+
+	path      string
+	snapEvery int
+	sinceSnap int
+	snapping  bool
+	logw      io.Writer
+
+	snapMu sync.Mutex // serializes snapshot writers
 }
 
 type cacheEntry struct {
@@ -68,13 +92,14 @@ func (c *resultCache) get(fp string) []byte {
 }
 
 // put inserts (or refreshes) fp's summary bytes, evicting the least
-// recently used entry when over capacity.
+// recently used entry when over capacity. With persistence configured,
+// every snapEvery-th insertion triggers an asynchronous snapshot.
 func (c *resultCache) put(fp string, body []byte) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.byFP[fp]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).body = body
+		c.mu.Unlock()
 		return
 	}
 	c.inserts++
@@ -84,6 +109,24 @@ func (c *resultCache) put(fp string, body []byte) {
 		c.ll.Remove(last)
 		delete(c.byFP, last.Value.(*cacheEntry).fp)
 		c.evictions++
+	}
+	snap := false
+	if c.path != "" {
+		c.sinceSnap++
+		if c.sinceSnap >= c.snapEvery && !c.snapping {
+			c.snapping = true
+			c.sinceSnap = 0
+			snap = true
+		}
+	}
+	c.mu.Unlock()
+	if snap {
+		go func() {
+			c.snapshotNow()
+			c.mu.Lock()
+			c.snapping = false
+			c.mu.Unlock()
+		}()
 	}
 }
 
@@ -97,5 +140,146 @@ func (c *resultCache) stats() CacheStats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Inserts:   c.inserts,
+		Loaded:    c.loaded,
 	}
+}
+
+// The snapshot is newline-delimited JSON: a header line binding the
+// file to this format, then one line per entry, written least- to
+// most-recently-used.
+
+type cacheSnapHeader struct {
+	Type    string `json:"type"` // "header"
+	Format  string `json:"format"`
+	Version int    `json:"v"`
+}
+
+type cacheSnapEntry struct {
+	Type string          `json:"type"` // "entry"
+	FP   string          `json:"fp"`
+	Body json.RawMessage `json:"body"`
+}
+
+const cacheSnapFormat = "herald-result-cache"
+
+// persistTo arms persistence: snapshots go to path every snapEvery
+// insertions (and on snapshotNow), and an existing snapshot is loaded
+// immediately. Loading failures other than a missing file are returned;
+// a torn tail is dropped with a warning, keeping everything before it.
+func (c *resultCache) persistTo(path string, snapEvery int, logw io.Writer) error {
+	if snapEvery <= 0 {
+		snapEvery = 32
+	}
+	if logw == nil {
+		logw = io.Discard
+	}
+	c.mu.Lock()
+	c.path = path
+	c.snapEvery = snapEvery
+	c.logw = logw
+	c.mu.Unlock()
+	return c.load()
+}
+
+// load replays an existing snapshot into the (empty) cache. Entries
+// are inserted in file order — LRU first — so the reloaded cache has
+// the same eviction order the old process had.
+func (c *resultCache) load() error {
+	f, err := os.Open(c.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: cache snapshot %s: %w", c.path, err)
+	}
+	defer f.Close()
+	// Replay must not trigger a snapshot of the file being read;
+	// holding the snapping latch suppresses the insertion trigger.
+	c.mu.Lock()
+	c.snapping = true
+	c.mu.Unlock()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line, n := 0, 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if line == 1 {
+			var h cacheSnapHeader
+			if err := json.Unmarshal(raw, &h); err != nil || h.Type != "header" || h.Format != cacheSnapFormat {
+				return fmt.Errorf("serve: cache snapshot %s: malformed header", c.path)
+			}
+			continue
+		}
+		var e cacheSnapEntry
+		if err := json.Unmarshal(raw, &e); err != nil || e.Type != "entry" || e.FP == "" || len(e.Body) == 0 {
+			// A torn tail from a crash mid-write: keep what precedes it.
+			fmt.Fprintf(c.logw, "serve: cache snapshot %s: dropping torn entry at line %d\n", c.path, line)
+			break
+		}
+		c.put(e.FP, []byte(e.Body))
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("serve: cache snapshot %s: %w", c.path, err)
+	}
+	c.mu.Lock()
+	c.loaded = n
+	// Replaying the snapshot must not count as fresh insertions, or a
+	// reload would immediately re-trigger a snapshot of itself.
+	c.inserts = 0
+	c.misses = 0
+	c.sinceSnap = 0
+	c.snapping = false
+	c.mu.Unlock()
+	return nil
+}
+
+// snapshotNow writes the full cache to the snapshot file (temp file,
+// fsync, rename), serializing concurrent writers. A cache without a
+// configured path is a no-op.
+func (c *resultCache) snapshotNow() {
+	c.mu.Lock()
+	path, logw := c.path, c.logw
+	entries := make([]cacheSnapEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() { // LRU → MRU
+		e := el.Value.(*cacheEntry)
+		entries = append(entries, cacheSnapEntry{Type: "entry", FP: e.fp, Body: json.RawMessage(e.body)})
+	}
+	c.mu.Unlock()
+	if path == "" {
+		return
+	}
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	if err := writeCacheSnapshot(path, entries); err != nil {
+		fmt.Fprintf(logw, "serve: cache snapshot %s: %v\n", path, err)
+	}
+}
+
+func writeCacheSnapshot(path string, entries []cacheSnapEntry) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(cacheSnapHeader{Type: "header", Format: cacheSnapFormat, Version: 1}); err != nil {
+		f.Close()
+		return err
+	}
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -21,6 +21,14 @@ type flight struct {
 	last    shard.RunProgress
 	hasLast bool
 
+	// waiters counts requests with a live interest in the outcome; when
+	// the last one leaves before the run finished, the flight is
+	// abandoned and its run cancelled (nobody is left to read it).
+	waiters   int
+	cancel    func()
+	abandoned bool
+	ended     bool
+
 	// Set before done closes, immutable after.
 	body []byte
 	err  error
@@ -80,10 +88,51 @@ func (f *flight) unsubscribe(ch chan shard.RunProgress) {
 	delete(f.subs, ch)
 }
 
+// join registers one waiter. Every request that will block on the
+// flight's outcome must join before blocking and leave afterwards.
+func (f *flight) join() {
+	f.mu.Lock()
+	f.waiters++
+	f.mu.Unlock()
+}
+
+// leave drops one waiter. The last leave before the flight finished
+// abandons it: the run's cancel hook fires, propagating the collective
+// client disconnect down to the shard layer.
+func (f *flight) leave() {
+	f.mu.Lock()
+	var cancel func()
+	f.waiters--
+	if f.waiters <= 0 && !f.ended && !f.abandoned {
+		f.abandoned = true
+		cancel = f.cancel
+	}
+	f.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// setCancel installs the run's cancel hook (the leader calls it once
+// the run is submitted). If every waiter already left — the
+// registration lost the race to the abandonment — it fires immediately.
+func (f *flight) setCancel(c func()) {
+	f.mu.Lock()
+	fire := f.abandoned
+	f.cancel = c
+	f.mu.Unlock()
+	if fire {
+		c()
+	}
+}
+
 // finish records the run's outcome and releases every waiter. The
 // leader calls it exactly once, after the result has been inserted
 // into the cache (so no request can observe neither flight nor cache).
 func (f *flight) finish(body []byte, err error) {
+	f.mu.Lock()
+	f.ended = true
+	f.mu.Unlock()
 	f.body = body
 	f.err = err
 	close(f.done)

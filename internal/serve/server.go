@@ -1,10 +1,15 @@
 package serve
 
 import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -34,6 +39,28 @@ type Config struct {
 	// MaxSweepPoints bounds the points of one /v1/sweep request
 	// (default 64).
 	MaxSweepPoints int
+	// MaxInFlightPerClient additionally bounds admission per client —
+	// the bearer token when authenticated, the remote host otherwise —
+	// counting both executing and queued work, so one client cannot
+	// monopolize the global slots. 0 disables the per-client bound.
+	MaxInFlightPerClient int
+	// AuthToken, when non-empty, locks every /v1 endpoint except
+	// health behind `Authorization: Bearer <token>` (constant-time
+	// compare; uniform 401 body). Health endpoints stay open so
+	// orchestrators can probe without credentials.
+	AuthToken string
+	// RunTimeout bounds each run's execution (submission to summary).
+	// A run past its deadline is aborted through the shard cancel path
+	// and reported as an error. 0 means no deadline.
+	RunTimeout time.Duration
+	// CacheFile, when non-empty, persists the result cache across
+	// restarts: an existing snapshot is loaded at construction, and the
+	// cache is re-snapshotted every CacheSnapshotEvery insertions and
+	// on Drain (ndjson, temp-file + fsync + rename).
+	CacheFile string
+	// CacheSnapshotEvery is the insertion cadence of automatic cache
+	// snapshots (default 32).
+	CacheSnapshotEvery int
 	// Log receives request-level diagnostics (default: discard).
 	Log io.Writer
 }
@@ -45,9 +72,10 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *resultCache
 
-	mu      sync.Mutex
-	flights map[string]*flight
-	queued  int
+	mu        sync.Mutex
+	flights   map[string]*flight
+	queued    int
+	perClient map[string]int
 
 	slots     chan struct{}
 	drainCh   chan struct{}
@@ -82,12 +110,21 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Log = io.Discard
 	}
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		cache:   newResultCache(cfg.CacheEntries),
-		flights: make(map[string]*flight),
-		slots:   make(chan struct{}, cfg.MaxInFlight),
-		drainCh: make(chan struct{}),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		cache:     newResultCache(cfg.CacheEntries),
+		flights:   make(map[string]*flight),
+		perClient: make(map[string]int),
+		slots:     make(chan struct{}, cfg.MaxInFlight),
+		drainCh:   make(chan struct{}),
+	}
+	if cfg.CacheFile != "" {
+		if err := s.cache.persistTo(cfg.CacheFile, cfg.CacheSnapshotEvery, cfg.Log); err != nil {
+			return nil, err
+		}
+		if n := s.cache.stats().Loaded; n > 0 {
+			fmt.Fprintf(cfg.Log, "serve: cache: loaded %d entries from %s\n", n, cfg.CacheFile)
+		}
 	}
 	// The module's go directive predates method patterns in ServeMux,
 	// so routes are plain paths with explicit method checks.
@@ -95,10 +132,69 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/cache", s.handleCache)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s, nil
 }
 
+// openPath reports whether path is served without authentication:
+// liveness and readiness probes must work for orchestrators that hold
+// no credentials.
+func openPath(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/v1/healthz":
+		return true
+	}
+	return false
+}
+
+// authorized implements the bearer check. Both sides are hashed before
+// the comparison, so its duration depends on neither the length nor
+// the content of what the client sent.
+func (s *Server) authorized(r *http.Request) bool {
+	token, ok := bearerToken(r)
+	if !ok {
+		return false
+	}
+	got := sha256.Sum256([]byte(token))
+	want := sha256.Sum256([]byte(s.cfg.AuthToken))
+	return subtle.ConstantTimeCompare(got[:], want[:]) == 1
+}
+
+func bearerToken(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) <= len(prefix) || !strings.EqualFold(h[:len(prefix)], prefix) {
+		return "", false
+	}
+	return h[len(prefix):], true
+}
+
+// clientKey identifies the requester for per-client admission: the
+// (hashed) bearer token when authentication is on, the remote host
+// otherwise.
+func (s *Server) clientKey(r *http.Request) string {
+	if s.cfg.AuthToken != "" {
+		if token, ok := bearerToken(r); ok {
+			sum := sha256.Sum256([]byte(token))
+			return "t:" + hex.EncodeToString(sum[:8])
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "h:" + host
+}
+
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.AuthToken != "" && !openPath(r.URL.Path) && !s.authorized(r) {
+		// One body for a missing, malformed or wrong credential: the
+		// response must not reveal which.
+		w.Header().Set("WWW-Authenticate", `Bearer realm="herald"`)
+		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "unauthorized"})
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -109,11 +205,16 @@ func (s *Server) BeginDrain() {
 }
 
 // Drain begins draining and blocks until every in-flight run has
-// finished. Call after shutting down the HTTP listener; the pool can
-// be closed once Drain returns.
+// finished, then snapshots the result cache (when persistence is on)
+// so a restart reloads everything the process computed. Call after
+// shutting down the HTTP listener; the pool can be closed once Drain
+// returns.
 func (s *Server) Drain() {
 	s.BeginDrain()
 	s.wg.Wait()
+	if s.cfg.CacheFile != "" {
+		s.cache.snapshotNow()
+	}
 }
 
 // CacheStats snapshots the result cache.
@@ -251,13 +352,47 @@ func compile(req *RunRequest) (shard.RunSpec, string, error) {
 }
 
 // acquire claims an execution slot, queueing up to MaxQueued waiters.
-// Beyond the queue bound it refuses deterministically with 429.
-func (s *Server) acquire(ctx ctxDone) (func(), *httpError) {
+// Beyond the queue bound it refuses deterministically with 429. client,
+// when per-client admission is configured, additionally charges the
+// request against that client's own bound — covering its queued wait
+// too, so a client cannot fill the queue either.
+func (s *Server) acquire(ctx ctxDone, client string) (func(), *httpError) {
 	select {
 	case <-s.drainCh:
 		return nil, &httpError{code: http.StatusServiceUnavailable, msg: "server is draining"}
 	default:
 	}
+	clientRelease := func() {}
+	if s.cfg.MaxInFlightPerClient > 0 && client != "" {
+		s.mu.Lock()
+		if s.perClient[client] >= s.cfg.MaxInFlightPerClient {
+			s.mu.Unlock()
+			return nil, &httpError{
+				code:       http.StatusTooManyRequests,
+				msg:        fmt.Sprintf("client at capacity: %d in flight", s.cfg.MaxInFlightPerClient),
+				retryAfter: s.cfg.RetryAfter,
+			}
+		}
+		s.perClient[client]++
+		s.mu.Unlock()
+		clientRelease = func() {
+			s.mu.Lock()
+			if s.perClient[client]--; s.perClient[client] <= 0 {
+				delete(s.perClient, client)
+			}
+			s.mu.Unlock()
+		}
+	}
+	release, herr := s.acquireGlobal(ctx)
+	if herr != nil {
+		clientRelease()
+		return nil, herr
+	}
+	return func() { release(); clientRelease() }, nil
+}
+
+// acquireGlobal is the client-agnostic slot claim.
+func (s *Server) acquireGlobal(ctx ctxDone) (func(), *httpError) {
 	release := func() { <-s.slots }
 	select {
 	case s.slots <- struct{}{}:
@@ -314,10 +449,24 @@ func (s *Server) joinOrLead(fp string, spec *shard.RunSpec, release func()) *fli
 // result into the cache, then retire the flight and wake every waiter.
 // Cache insertion precedes flight removal so a request observing
 // neither can only re-derive the identical bytes, never lose them.
+//
+// The run executes under its own context — bounded by RunTimeout and
+// cancelled when the flight's last waiter leaves — so an abandoned or
+// overdue run tears down its in-flight shard jobs instead of leaking
+// them.
 func (s *Server) execute(fl *flight, spec *shard.RunSpec, release func()) {
 	defer s.wg.Done()
 	defer release()
-	body, err := s.runOnce(spec, fl.publish)
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.cfg.RunTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RunTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	fl.setCancel(cancel)
+	body, err := s.runOnce(ctx, spec, fl.publish)
 	if err == nil {
 		s.cache.put(fl.fp, body)
 	} else {
@@ -329,8 +478,8 @@ func (s *Server) execute(fl *flight, spec *shard.RunSpec, release func()) {
 	fl.finish(body, err)
 }
 
-func (s *Server) runOnce(spec *shard.RunSpec, progress func(shard.RunProgress)) ([]byte, error) {
-	tk, err := s.cfg.Pool.Submit(*spec, progress)
+func (s *Server) runOnce(ctx context.Context, spec *shard.RunSpec, progress func(shard.RunProgress)) ([]byte, error) {
+	tk, err := s.cfg.Pool.SubmitCtx(ctx, *spec, progress)
 	if err != nil {
 		return nil, err
 	}
@@ -342,8 +491,10 @@ func (s *Server) runOnce(spec *shard.RunSpec, progress func(shard.RunProgress)) 
 }
 
 // flightOrCached resolves fp to either cached bytes or a flight to
-// wait on, admitting a new run if neither exists yet.
-func (s *Server) flightOrCached(ctx ctxDone, fp string, spec *shard.RunSpec) (*flight, []byte, *httpError) {
+// wait on, admitting a new run if neither exists yet. A returned
+// flight has NOT been joined; the caller must join before blocking on
+// it and leave afterwards.
+func (s *Server) flightOrCached(ctx ctxDone, fp, client string, spec *shard.RunSpec) (*flight, []byte, *httpError) {
 	if b := s.cache.get(fp); b != nil {
 		return nil, b, nil
 	}
@@ -353,7 +504,7 @@ func (s *Server) flightOrCached(ctx ctxDone, fp string, spec *shard.RunSpec) (*f
 	if ok {
 		return fl, nil, nil
 	}
-	release, herr := s.acquire(ctx)
+	release, herr := s.acquire(ctx, client)
 	if herr != nil {
 		return nil, nil, herr
 	}
@@ -383,12 +534,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.streamRun(w, r, fp, &spec)
 		return
 	}
-	fl, body, herr := s.flightOrCached(r.Context(), fp, &spec)
+	fl, body, herr := s.flightOrCached(r.Context(), fp, s.clientKey(r), &spec)
 	if herr != nil {
 		s.writeError(w, herr)
 		return
 	}
 	if fl != nil {
+		fl.join()
+		defer fl.leave()
 		select {
 		case <-fl.done:
 		case <-r.Context().Done():
@@ -434,7 +587,7 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, fp string, sp
 		w.WriteHeader(http.StatusOK)
 	}
 
-	fl, body, herr := s.flightOrCached(r.Context(), fp, spec)
+	fl, body, herr := s.flightOrCached(r.Context(), fp, s.clientKey(r), spec)
 	if herr != nil {
 		s.writeError(w, herr)
 		return
@@ -444,6 +597,8 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, fp string, sp
 		emit(streamEvent{Type: "result", Fingerprint: fp, Cached: true, Summary: body})
 		return
 	}
+	fl.join()
+	defer fl.leave()
 	sub := fl.subscribe()
 	defer fl.unsubscribe(sub)
 	start()
@@ -524,7 +679,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	// A sweep occupies one admission slot regardless of its point
 	// count; the pool pipelines the points internally.
-	release, herr := s.acquire(r.Context())
+	release, herr := s.acquire(r.Context(), s.clientKey(r))
 	if herr != nil {
 		s.writeError(w, herr)
 		return
@@ -566,6 +721,8 @@ func (s *Server) resolvePoint(ctx ctxDone, fp string, spec *shard.RunSpec) ([]by
 		return b, true, nil
 	}
 	fl := s.joinOrLead(fp, spec, func() {})
+	fl.join()
+	defer fl.leave()
 	select {
 	case <-fl.done:
 	case <-ctx.Done():
@@ -602,4 +759,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	default:
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// readyzResponse is the body of GET /readyz: whether the service can
+// take work right now, and why not if it cannot.
+type readyzResponse struct {
+	Status        string `json:"status"` // "ready" | "unready"
+	LiveSlots     int    `json:"live_slots"`
+	SourceOpen    bool   `json:"source_open"`
+	FallbackArmed bool   `json:"fallback_armed"`
+	ActiveRuns    int    `json:"active_runs"`
+	Draining      bool   `json:"draining"`
+	Error         string `json:"error,omitempty"`
+}
+
+// handleReadyz is the readiness probe: 200 while the pool can advance
+// a run (live workers, or a still-open elastic source that parks runs
+// until a joiner arrives) and the server is not draining; 503
+// otherwise, with the pool population in the body either way.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, &httpError{code: http.StatusMethodNotAllowed, msg: "GET only"})
+		return
+	}
+	h := s.cfg.Pool.Health()
+	resp := readyzResponse{
+		LiveSlots:     h.LiveSlots,
+		SourceOpen:    h.SourceOpen,
+		FallbackArmed: h.FallbackArmed,
+		ActiveRuns:    h.ActiveRuns,
+	}
+	select {
+	case <-s.drainCh:
+		resp.Draining = true
+	default:
+	}
+	if h.Err != nil {
+		resp.Error = h.Err.Error()
+	}
+	if h.Ready() && !resp.Draining {
+		resp.Status = "ready"
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp.Status = "unready"
+	writeJSON(w, http.StatusServiceUnavailable, resp)
 }

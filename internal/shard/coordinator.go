@@ -331,6 +331,11 @@ type runState struct {
 	jobIDs []int
 
 	finished bool
+	// aborted carries the cancellation cause of a run ended by its
+	// deadline or caller (Ticket.Cancel, SubmitCtx context). Aborted
+	// runs set finished too — the dispatcher treats them as over — but
+	// their tickets resolve with this error instead of a Summary.
+	aborted error
 	// notify is closed exactly once when the run reaches a terminal
 	// state (finished or the pool died); Ticket.Wait blocks on it.
 	notify   chan struct{}
@@ -496,6 +501,13 @@ type dispatcher struct {
 	// several jobs, and its death must count once, not once per job.
 	deadWorker map[Worker]bool
 
+	// fallback, when non-nil on a persistent pool, is a bounded
+	// in-process worker armed the moment the pool drains (every serve
+	// goroutine gone) instead of declaring the pool dead or parking
+	// runs indefinitely: degraded-mode serving. Armed at most once.
+	fallback      Worker
+	fallbackArmed bool
+
 	wg   sync.WaitGroup // serve goroutines
 	live int            // serve goroutines not yet exited
 	// sourceOpen is true while an elastic worker source may still
@@ -513,6 +525,15 @@ func (d *dispatcher) signalDone() { d.doneOnce.Do(func() { close(d.done) }) }
 // claiming shards (PipelineDepth slots for workers that support
 // double-buffering, one otherwise).
 func (d *dispatcher) addWorker(w Worker) {
+	d.mu.Lock()
+	d.addWorkerLocked(w)
+	d.mu.Unlock()
+}
+
+// addWorkerLocked is addWorker for callers already holding d.mu (the
+// fallback arming paths, which must install the worker atomically with
+// observing the drained pool).
+func (d *dispatcher) addWorkerLocked(w Worker) {
 	if sb, ok := w.(strayBanker); ok {
 		sb.setStray(d.bankStray)
 	}
@@ -520,9 +541,7 @@ func (d *dispatcher) addWorker(w Worker) {
 	if p, ok := w.(Pipeliner); ok && p.PipelineDepth() > 1 {
 		depth = p.PipelineDepth()
 	}
-	d.mu.Lock()
 	d.live += depth
-	d.mu.Unlock()
 	for i := 0; i < depth; i++ {
 		d.wg.Add(1)
 		go func() {
@@ -533,11 +552,25 @@ func (d *dispatcher) addWorker(w Worker) {
 	}
 }
 
+// armFallbackLocked installs the bounded in-process fallback worker
+// on a drained pool, at most once. Callers hold d.mu.
+func (d *dispatcher) armFallbackLocked() {
+	if d.fallback == nil || d.fallbackArmed || d.closing || d.fatal != nil {
+		return
+	}
+	d.fallbackArmed = true
+	fmt.Fprintf(d.logw, "shard: pool drained; arming in-process fallback worker %s\n", d.fallback.Name())
+	d.addWorkerLocked(d.fallback)
+}
+
 // exitServe retires one serve goroutine. When the last one goes and no
 // joiner can revive the pool — the source is closed, or there is no
 // pending work a joiner could take — the pipeline unwinds. A persistent
-// pool instead declares itself dead (future submissions must fail fast)
-// unless it is already closing or a joiner may still arrive.
+// pool first arms its in-process fallback worker (when configured) so
+// parked runs keep making progress; without one it declares itself
+// dead (future submissions must fail fast) unless it is already
+// closing or a joiner may still arrive — with the source open, runs
+// park and resume when a supervised worker rejoins.
 func (d *dispatcher) exitServe() {
 	d.mu.Lock()
 	d.live--
@@ -546,7 +579,9 @@ func (d *dispatcher) exitServe() {
 		return
 	}
 	if d.persistent {
-		if !d.sourceOpen && !d.closing {
+		if d.fallback != nil && !d.fallbackArmed {
+			d.armFallbackLocked()
+		} else if !d.sourceOpen && !d.closing {
 			d.failLocked(fmt.Errorf("shard: no live workers remain"))
 		}
 		d.mu.Unlock()
@@ -869,6 +904,50 @@ func (d *dispatcher) finishLocked(r *runState, stopAt int) {
 	r.cp.close()
 	r.cp = nil
 	r.emitProgress(true)
+	r.signalTerminal()
+	if d.sealed {
+		all := true
+		for _, rr := range d.runs {
+			if !rr.finished {
+				all = false
+				break
+			}
+		}
+		if all {
+			d.signalDone()
+		}
+	}
+	d.cond.Broadcast()
+}
+
+// abortRun ends a run before its natural completion: queued shards are
+// dropped, in-flight jobs are cancelled through the protocol's v2
+// cancel path (best-effort, asynchronously — the workers stay usable),
+// and the ticket resolves with cause. Late results and cancel acks for
+// the run are absorbed by the normal finished-run guards. Idempotent;
+// a run that already finished is left alone.
+func (d *dispatcher) abortRun(r *runState, cause error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r.finished {
+		return
+	}
+	r.aborted = cause
+	r.queue = nil
+	r.nextWave = len(r.waves)
+	for jid, a := range d.assigned {
+		if a.key.r != r {
+			continue
+		}
+		if c, ok := a.w.(JobCanceler); ok {
+			go c.CancelJob(jid)
+		}
+	}
+	r.finished = true
+	r.done = nil
+	r.cp.close()
+	r.cp = nil
+	fmt.Fprintf(d.logw, "shard: run %d aborted: %v\n", r.idx, cause)
 	r.signalTerminal()
 	if d.sealed {
 		all := true

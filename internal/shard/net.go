@@ -47,6 +47,19 @@ type NetConfig struct {
 	// HandshakeTimeout bounds the hello exchange (and TLS handshake)
 	// after the connection is up. Default 10s.
 	HandshakeTimeout time.Duration
+	// RetryBase and RetryMax bound JoinLoop's reconnect backoff: the
+	// delay starts at RetryBase, doubles per consecutive failure, and
+	// is capped at RetryMax (defaults 500ms and 30s). A session that
+	// got past the handshake resets the ladder.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed seeds the deterministic jitter stream of JoinLoop's
+	// backoff (each delay is scaled into [1/2, 1) of its nominal value
+	// off an xrand stream), so reconnect storms desynchronize while
+	// tests replay the exact delay sequence. Zero derives a seed from
+	// the process identity — distinct workers then spread out — which
+	// is the right default everywhere outside a test.
+	RetrySeed uint64
 }
 
 const (
@@ -450,18 +463,30 @@ func Join(addr string, capacity int, nc NetConfig) error {
 // as cancelled (they are reassigned), closes the connection and returns
 // nil. nil stop serves until the coordinator closes the connection.
 func JoinStop(addr string, capacity int, nc NetConfig, stop <-chan struct{}) error {
+	_, err := joinOnce(addr, capacity, nc, stop)
+	return err
+}
+
+// joinOnce runs one join session end to end and additionally reports
+// whether the handshake completed — the healthiness signal JoinLoop
+// uses to reset its reconnect backoff. A nil error with joined=true is
+// a clean coordinator close (EOF between frames); an error after
+// joined=true is a session that broke mid-stream (mid-frame cut,
+// stalled peer, read deadline); an error with joined=false never got
+// past dialing or the hello exchange.
+func joinOnce(addr string, capacity int, nc NetConfig, stop <-chan struct{}) (joined bool, err error) {
 	nc = nc.withDefaults()
 	nc.TLS = clientTLSFor(nc.TLS, addr)
 	conn, err := net.DialTimeout("tcp", addr, nc.DialTimeout)
 	if err != nil {
-		return fmt.Errorf("shard: join %s: %w", addr, err)
+		return false, fmt.Errorf("shard: join %s: %w", addr, err)
 	}
 	t, _, err := setupConn(conn, nc, true, workerCapacity(capacity))
 	if err != nil {
-		return fmt.Errorf("shard: join %s: %w", addr, err)
+		return false, fmt.Errorf("shard: join %s: %w", addr, err)
 	}
 	defer t.Close()
-	return serveJobsStop(t, stop)
+	return true, serveJobsStop(t, stop)
 }
 
 // workerCapacity resolves a worker's advertised capacity: an explicit

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -49,17 +50,38 @@ type Pool struct {
 	closeOnce sync.Once
 }
 
+// PoolOptions tunes a persistent pool beyond its worker set.
+type PoolOptions struct {
+	// LocalFallback, when positive, arms degraded-mode execution: if
+	// the pool ever drains completely (every worker dead or departed),
+	// a bounded in-process worker with this parallelism joins so parked
+	// runs keep progressing instead of waiting for a rejoiner the
+	// deadline may outlast. The fallback stays in the pool once armed;
+	// rejoining supervised workers simply take shards alongside it.
+	LocalFallback int
+}
+
 // NewPool builds a persistent pool over the initial workers plus an
 // optional elastic source (see RunPipelineSource for the source
 // contract). The initial workers remain the caller's to close — after
 // Close returns; workers delivered by source are closed by the pool.
 // Wave-sizing weights are snapshotted from the initial workers.
 func NewPool(workers []Worker, source <-chan Worker, logw io.Writer) (*Pool, error) {
-	return newPool(workers, source, logw, true)
+	return NewPoolOptions(workers, source, logw, PoolOptions{})
+}
+
+// NewPoolOptions is NewPool with explicit tuning (degraded-mode local
+// fallback).
+func NewPoolOptions(workers []Worker, source <-chan Worker, logw io.Writer, opts PoolOptions) (*Pool, error) {
+	return newPoolOptions(workers, source, logw, true, opts)
 }
 
 func newPool(workers []Worker, source <-chan Worker, logw io.Writer, persistent bool) (*Pool, error) {
-	if len(workers) == 0 && source == nil {
+	return newPoolOptions(workers, source, logw, persistent, PoolOptions{})
+}
+
+func newPoolOptions(workers []Worker, source <-chan Worker, logw io.Writer, persistent bool, opts PoolOptions) (*Pool, error) {
+	if len(workers) == 0 && source == nil && opts.LocalFallback <= 0 {
 		return nil, fmt.Errorf("shard: no workers")
 	}
 	if logw == nil {
@@ -74,6 +96,9 @@ func newPool(workers []Worker, source <-chan Worker, logw io.Writer, persistent 
 		deadWorker: make(map[Worker]bool),
 		sourceOpen: source != nil,
 		done:       make(chan struct{}),
+	}
+	if persistent && opts.LocalFallback > 0 {
+		d.fallback = NewInProcessWorker("local-fallback", opts.LocalFallback)
 	}
 	d.cond = sync.NewCond(&d.mu)
 	d.caps = poolCapacities(workers)
@@ -98,6 +123,9 @@ func newPool(workers []Worker, source <-chan Worker, logw io.Writer, persistent 
 					if !ok {
 						d.mu.Lock()
 						d.sourceOpen = false
+						if d.live == 0 && d.fallback != nil && !d.fallbackArmed {
+							d.armFallbackLocked()
+						}
 						dead := d.live == 0
 						if dead && d.persistent && !d.closing {
 							d.failLocked(fmt.Errorf("shard: no live workers remain"))
@@ -137,6 +165,31 @@ func (p *Pool) Submit(spec RunSpec, progress func(RunProgress)) (*Ticket, error)
 	return p.submit(&spec, progress)
 }
 
+// SubmitCtx is Submit bound to a context: when ctx ends before the run
+// does, the run is aborted — queued shards dropped, in-flight jobs
+// cancelled through the protocol's cancel path — and the ticket
+// resolves with an error wrapping ctx.Err(). This is how a client
+// disconnect or a per-request deadline reaches the shard wire. The
+// pool itself stays usable.
+func (p *Pool) SubmitCtx(ctx context.Context, spec RunSpec, progress func(RunProgress)) (*Ticket, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("shard: run cancelled before submit: %w", err)
+	}
+	t, err := p.submit(&spec, progress)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.d.abortRun(t.r, fmt.Errorf("shard: run cancelled: %w", context.Cause(ctx)))
+		case <-t.r.notify:
+		case <-p.d.done:
+		}
+	}()
+	return t, nil
+}
+
 func (p *Pool) submit(spec *RunSpec, progress func(RunProgress)) (*Ticket, error) {
 	d := p.d
 	d.mu.Lock()
@@ -165,6 +218,12 @@ func (p *Pool) submit(spec *RunSpec, progress func(RunProgress)) (*Ticket, error
 	}
 	if d.persistent {
 		d.compactLocked()
+		if d.live == 0 {
+			// Submitting to an empty pool (drained, or elastic and not yet
+			// populated): degraded mode starts now rather than parking the
+			// new run until a joiner happens by. No-op without a fallback.
+			d.armFallbackLocked()
+		}
 	}
 	// Insert in index order: concurrent submits may reach this point
 	// out of turn, and the scan order is the priority order.
@@ -245,6 +304,14 @@ func (p *Pool) Err() error {
 	return p.d.fatal
 }
 
+// Cancel aborts the run if it has not finished: queued shards are
+// dropped, in-flight jobs are cancelled on their workers, and Wait
+// returns an error. Cancelling a finished run is a no-op. The pool
+// stays usable.
+func (t *Ticket) Cancel() {
+	t.d.abortRun(t.r, fmt.Errorf("shard: run cancelled by caller"))
+}
+
 // Wait blocks until the run reaches a terminal state and returns its
 // result. A nil error means the run finished and Summary is its merged
 // result, bit-identical to running it alone. Wait is safe to call from
@@ -260,6 +327,8 @@ func (t *Ticket) Wait() (RunResult, error) {
 	r := t.r
 	res := RunResult{Summary: r.summary, Stats: r.stats, Wall: r.wall}
 	switch {
+	case r.aborted != nil:
+		return res, r.aborted
 	case r.finished:
 		return res, nil
 	case d.fatal != nil:
@@ -270,6 +339,52 @@ func (t *Ticket) Wait() (RunResult, error) {
 		return res, fmt.Errorf("shard: %d of %d shards unassigned and no live workers remain",
 			len(r.shards)-len(r.done), len(r.shards))
 	}
+}
+
+// PoolHealth is a point-in-time snapshot of a pool's capacity to make
+// progress, for readiness probes.
+type PoolHealth struct {
+	// LiveSlots counts serve goroutines currently claiming work (a
+	// pipelined worker contributes its depth).
+	LiveSlots int
+	// SourceOpen reports that an elastic worker source may still
+	// deliver joiners (a drained pool parks runs instead of failing).
+	SourceOpen bool
+	// FallbackArmed reports that the bounded in-process fallback worker
+	// joined the pool after a drain (degraded mode).
+	FallbackArmed bool
+	// ActiveRuns counts submitted runs not yet finished.
+	ActiveRuns int
+	// Err is the pool's fatal condition, nil while it is usable.
+	Err error
+}
+
+// Ready reports whether the pool can currently take a run and advance
+// it: it is alive and has (or can still gain) execution capacity.
+func (h PoolHealth) Ready() bool {
+	return h.Err == nil && (h.LiveSlots > 0 || h.SourceOpen)
+}
+
+// Health snapshots the pool's liveness and capacity.
+func (p *Pool) Health() PoolHealth {
+	d := p.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := PoolHealth{
+		LiveSlots:     d.live,
+		SourceOpen:    d.sourceOpen,
+		FallbackArmed: d.fallbackArmed,
+		Err:           d.fatal,
+	}
+	if d.closing && h.Err == nil {
+		h.Err = fmt.Errorf("shard: pool closed")
+	}
+	for _, r := range d.runs {
+		if !r.finished {
+			h.ActiveRuns++
+		}
+	}
+	return h
 }
 
 // Close shuts the pool down: no further submissions are accepted,
