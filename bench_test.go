@@ -181,6 +181,22 @@ func BenchmarkMCIterationConventionalGeneric(b *testing.B) {
 	benchMCIteration(b, sim.Conventional, sim.KernelGeneric)
 }
 
+// BenchmarkMCIterationConventionalBias measures the importance-sampled
+// memoryless walker on the same configuration (auto failure bias):
+// the per-iteration cost of the weighted machinery relative to
+// BenchmarkMCIterationConventional, still allocation-free.
+func BenchmarkMCIterationConventionalBias(b *testing.B) {
+	p := sim.PaperDefaults(4, 1e-5, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(p, sim.Options{
+			Iterations: 100, MissionTime: 1e6, Seed: uint64(i), Workers: 1, Bias: sim.BiasAuto,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMCIterationFailover measures Monte-Carlo throughput for the
 // fail-over policy (memoryless walker via KernelAuto).
 func BenchmarkMCIterationFailover(b *testing.B) {

@@ -142,6 +142,17 @@ func (lf *lawFlags) build(rate float64) (dist.Distribution, error) {
 	}
 }
 
+// parseBiasFlag maps the -bias token onto an Options.Bias value,
+// naming the flag in the error so a bad value reads as a flag problem
+// rather than an internal one.
+func parseBiasFlag(s string) (float64, error) {
+	v, err := sim.ParseBias(s)
+	if err != nil {
+		return 0, fmt.Errorf("-bias must be \"auto\" or a finite factor >= 1, got %q", s)
+	}
+	return v, nil
+}
+
 // parseCSV parses a comma-separated float list.
 func parseCSV(s string) ([]float64, error) {
 	if strings.TrimSpace(s) == "" {
@@ -181,6 +192,7 @@ func main() {
 		lambdaCrash = flag.Float64("lambda-crash", 0.01, "pulled-disk crash rate (1/h)")
 		noResync    = flag.Bool("no-resync", false, "skip the post-undo resync outage")
 		kernel      = flag.String("kernel", "auto", "Monte-Carlo kernel: auto (rate-based walkers when every law is exponential), generic (per-disk clock walkers) or memoryless (force; rejects non-exponential laws)")
+		bias        = flag.String("bias", "", "failure-biased importance sampling: a finite inflation factor >= 1, or auto to pick one from the failure/repair rate ratio; needs the memoryless kernel (empty = off)")
 		targetHW    = flag.Float64("target-halfwidth", 0, "adaptive precision target: stop when the availability CI half-width reaches this value (sequential sampling; -iters becomes the cap, or the minimum when -max-iters is set)")
 		maxIters    = flag.Int("max-iters", 0, "iteration cap for adaptive runs (requires -target-halfwidth; -iters then floors the executed count)")
 		iters       = flag.Int("iters", 20000, "Monte-Carlo iterations (paper: 1e6); with -target-halfwidth, the cap instead")
@@ -294,6 +306,13 @@ func main() {
 	if err2 != nil {
 		exitOn(err2)
 	}
+	biasF, err2 := parseBiasFlag(*bias)
+	if err2 != nil {
+		exitOn(err2)
+	}
+	if biasF != 0 && resolved != sim.KernelMemoryless {
+		exitOn(fmt.Errorf("-bias %s requires the memoryless kernel (this configuration resolved %v)", *bias, resolved))
+	}
 
 	o := sim.Options{
 		Iterations:      *iters,
@@ -302,6 +321,7 @@ func main() {
 		Workers:         *workers,
 		Confidence:      *confidence,
 		Kernel:          kern,
+		Bias:            biasF,
 		TargetHalfWidth: *targetHW,
 		MaxIters:        *maxIters,
 	}
@@ -335,6 +355,9 @@ func main() {
 	t.AddRow("human errors", fmt.Sprintf("%d", s.Events.HumanErrors))
 	t.AddRow("pulled-disk crashes", fmt.Sprintf("%d", s.Events.Crashes))
 	t.AddRow("undo attempts", fmt.Sprintf("%d", s.Events.UndoAttempts))
+	if s.Bias > 0 {
+		t.AddRow("effective sample size", fmt.Sprintf("%.1f", s.ESS))
+	}
 	if o.Adaptive() {
 		state := "cap reached without convergence"
 		if s.Converged {
@@ -343,7 +366,11 @@ func main() {
 		t.AddNote("adaptive: target half-width %.3g, stopped at %d of <= %d iterations (%s)",
 			s.TargetHalfWidth, s.Iterations, o.IterationCap(), state)
 	}
-	t.AddNote("%d iterations x %.3g h mission, seed %d, %s kernel", s.Iterations, s.MissionTime, *seed, resolved)
+	biasNote := ""
+	if s.Bias > 0 {
+		biasNote = fmt.Sprintf(", failure bias x%.4g", s.Bias)
+	}
+	t.AddNote("%d iterations x %.3g h mission, seed %d, %s kernel%s", s.Iterations, s.MissionTime, *seed, resolved, biasNote)
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		exitOn(err)
 	}

@@ -19,7 +19,19 @@ import (
 	"herald/internal/prof"
 	"herald/internal/repro"
 	"herald/internal/shard"
+	"herald/internal/sim"
 )
+
+// parseBiasFlag maps the -bias token onto an Options.Bias value,
+// naming the flag in the error so a bad value reads as a flag problem
+// rather than an internal one.
+func parseBiasFlag(s string) (float64, error) {
+	v, err := sim.ParseBias(s)
+	if err != nil {
+		return 0, fmt.Errorf("-bias must be \"auto\" or a finite factor >= 1, got %q", s)
+	}
+	return v, nil
+}
 
 func main() {
 	// -full shards across sibling processes of this binary.
@@ -34,6 +46,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		full       = flag.Bool("full", false, "run the paper-scale sweep (policies x HEP at 1e6 iterations/point) pipelined across all cores")
 		targetHW   = flag.Float64("target-halfwidth", 0, "with -full: stop each point at this CI half-width instead of the full iteration count (adaptive sequential sampling; -iters becomes the cap)")
+		bias       = flag.String("bias", "", "with -full: failure-biased importance sampling — a finite inflation factor >= 1, or auto to pick one per point from its failure/repair rate ratio (empty = off)")
 		undoLaws   = flag.Bool("undo-laws", false, "shorthand for -fig undo-laws: compare hyper-exponential / lognormal human-error undo latencies against the paper's exponential assumption")
 		confidence = flag.Float64("confidence", 0, "confidence level for the intervals (0 = default 0.99 as in the paper)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
@@ -49,6 +62,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	biasF, err := parseBiasFlag(*bias)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+
 	o := repro.Options{
 		MCIterations:    *iters,
 		MissionTime:     *mission,
@@ -56,10 +75,15 @@ func main() {
 		Workers:         *workers,
 		TargetHalfWidth: *targetHW,
 		Confidence:      *confidence,
+		Bias:            biasF,
 	}
 
 	if *targetHW != 0 && !*full {
 		fmt.Fprintln(os.Stderr, "repro: -target-halfwidth requires -full")
+		os.Exit(1)
+	}
+	if biasF != 0 && !*full {
+		fmt.Fprintln(os.Stderr, "repro: -bias requires -full")
 		os.Exit(1)
 	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)

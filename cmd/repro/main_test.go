@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"herald/internal/sim"
+)
+
+// TestParseBiasFlag pins the -bias boundary: bad tokens fail at parse
+// time with an error naming the flag, good tokens map onto the sim
+// option values.
+func TestParseBiasFlag(t *testing.T) {
+	good := map[string]float64{
+		"":     0,
+		"auto": sim.BiasAuto,
+		"1":    1,
+		"2.5":  2.5,
+	}
+	for tok, want := range good {
+		got, err := parseBiasFlag(tok)
+		if err != nil || got != want {
+			t.Errorf("parseBiasFlag(%q) = %v, %v; want %v", tok, got, err, want)
+		}
+	}
+	for _, tok := range []string{"0", "0.5", "-1", "nan", "inf", "-inf", "garbage"} {
+		_, err := parseBiasFlag(tok)
+		if err == nil {
+			t.Errorf("parseBiasFlag(%q) accepted", tok)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-bias") {
+			t.Errorf("parseBiasFlag(%q) error does not name the flag: %v", tok, err)
+		}
+	}
+}

@@ -171,6 +171,22 @@ func ParseSimKernel(s string) (SimKernel, error) {
 	return sim.ParseKernel(s)
 }
 
+// SimBiasAuto is the SimOptions.Bias sentinel asking a run to pick
+// its failure-inflation factor from the configuration's failure/repair
+// rate ratio; see the README's "Rare-event acceleration" section.
+const SimBiasAuto = sim.BiasAuto
+
+// ParseSimBias maps a bias token onto a SimOptions.Bias value: ""
+// (off), "auto" (SimBiasAuto), or a finite factor >= 1.
+func ParseSimBias(s string) (float64, error) { return sim.ParseBias(s) }
+
+// ResolveSimBias reports the concrete failure-inflation factor a
+// simulation of p under o samples with (1 when unbiased); it errors
+// when auto resolution is requested on non-exponential laws.
+func ResolveSimBias(p SimParams, o SimOptions) (float64, error) {
+	return sim.ResolveBias(p, o)
+}
+
 // PaperSimParams returns the simulator defaults matching PaperParams.
 func PaperSimParams(n int, lambda, hep float64) SimParams {
 	return sim.PaperDefaults(n, lambda, hep)

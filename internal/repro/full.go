@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	"herald/internal/report"
@@ -58,6 +59,7 @@ func Full(o Options, out io.Writer) error {
 					MissionTime:     d.MissionTime,
 					Seed:            d.Seed,
 					Confidence:      d.Confidence,
+					Bias:            o.Bias,
 					TargetHalfWidth: o.TargetHalfWidth,
 				},
 				Shards: shardCount,
@@ -107,6 +109,15 @@ func Full(o Options, out io.Writer) error {
 	}
 	t.AddNote("lambda %g, mission %.3g h, seed %d, %d-disk arrays; pipelined summaries are bit-identical to standalone runs",
 		lambda, d.MissionTime, d.Seed, 4)
+	if o.Bias != 0 {
+		var bs []string
+		for i, r := range results {
+			if r.Summary.Bias > 0 {
+				bs = append(bs, fmt.Sprintf("%s x%.4g", points[i].Label, r.Summary.Bias))
+			}
+		}
+		t.AddNote("failure-biased importance sampling (memoryless kernel): %s", strings.Join(bs, ", "))
+	}
 	t.AddNote("total wall %.2f s, %.2f Miter/s aggregate over the shared pool",
 		total.Seconds(), float64(totalIters)/total.Seconds()/1e6)
 	if _, err := t.WriteTo(out); err != nil {

@@ -30,6 +30,11 @@ type Options struct {
 	// (Full) adaptive: each point stops at this CI half-width instead
 	// of running the full MCIterations count.
 	TargetHalfWidth float64
+	// Bias turns on failure-biased importance sampling for the
+	// paper-scale sweep (Full): sim.BiasAuto or a finite factor >= 1
+	// (0 = off). The sweep's configurations are all-exponential, so
+	// the memoryless kernel the biasing needs always resolves.
+	Bias float64
 }
 
 // Defaults returns laptop-scale options: 4000 iterations over a

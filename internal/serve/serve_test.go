@@ -541,3 +541,69 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz during drain = %d %q, want 200 draining", code, status)
 	}
 }
+
+// TestBiasedRun pins the service's importance-sampling surface: a
+// biased request answers the byte-exact biased in-process Summary
+// (factor echoed in it), biased and unbiased runs of one
+// configuration get distinct cache entries, and a biased request
+// against a generic-kernel configuration is a 400 at compile time.
+func TestBiasedRun(t *testing.T) {
+	hs, _, _ := newTestServer(t, serve.Config{})
+
+	bo := runOpts(testOptions)
+	bo.Bias = "4"
+	so := testOptions
+	so.Bias = 4
+	want := simBytes(t, testParams, so)
+
+	resp, rr := postRun(t, hs.URL, wireRequest(t, testParams, bo, 2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("biased run status = %d", resp.StatusCode)
+	}
+	if !bytes.Equal(rr.Summary, want) {
+		t.Fatalf("biased summary mismatch:\n got %s\nwant %s", rr.Summary, want)
+	}
+	var sum sim.Summary
+	if err := json.Unmarshal(rr.Summary, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Bias != 4 || !(sum.ESS > 0) {
+		t.Fatalf("biased summary does not report the weighting: factor %v, ESS %v", sum.Bias, sum.ESS)
+	}
+
+	// The unbiased twin of the same configuration is a different run:
+	// different fingerprint, no cache aliasing.
+	respU, rrU := postRun(t, hs.URL, wireRequest(t, testParams, runOpts(testOptions), 2))
+	if respU.StatusCode != http.StatusOK {
+		t.Fatalf("unbiased run status = %d", respU.StatusCode)
+	}
+	if rrU.Fingerprint == rr.Fingerprint {
+		t.Error("biased and unbiased runs share a fingerprint")
+	}
+	if rrU.Cached {
+		t.Error("unbiased run answered from the biased run's cache entry")
+	}
+	if bytes.Equal(rrU.Summary, rr.Summary) {
+		t.Error("biased and unbiased summaries are identical")
+	}
+
+	// Repeating the biased request hits its own cache entry.
+	resp2, rr2 := postRun(t, hs.URL, wireRequest(t, testParams, bo, 2))
+	if resp2.StatusCode != http.StatusOK || !rr2.Cached {
+		t.Errorf("biased repeat: status %d, cached %v", resp2.StatusCode, rr2.Cached)
+	}
+
+	// A malformed factor and a generic-kernel configuration both fail
+	// before any work is scheduled.
+	badOpts := runOpts(testOptions)
+	badOpts.Bias = "0.5"
+	if resp, _ := postRun(t, hs.URL, wireRequest(t, testParams, badOpts, 2)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bias 0.5: status %d, want 400", resp.StatusCode)
+	}
+	genericOpts := runOpts(testOptions)
+	genericOpts.Bias = "4"
+	genericOpts.Kernel = "generic"
+	if resp, _ := postRun(t, hs.URL, wireRequest(t, testParams, genericOpts, 2)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("biased generic-kernel request: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -229,6 +229,10 @@ type RunOptions struct {
 	Seed              uint64  `json:"seed"`
 	Confidence        float64 `json:"confidence,omitempty"`
 	Kernel            string  `json:"kernel,omitempty"`
+	// Bias selects failure-biased importance sampling: "" (off),
+	// "auto", or a finite factor >= 1. Part of the run's identity —
+	// biased and unbiased runs never share a cache entry.
+	Bias              string  `json:"bias,omitempty"`
 	TargetHalfWidth   float64 `json:"target_half_width,omitempty"`
 	MaxIters          int     `json:"max_iters,omitempty"`
 	HistogramBins     int     `json:"histogram_bins,omitempty"`
@@ -326,12 +330,22 @@ func compile(req *RunRequest) (shard.RunSpec, string, error) {
 	if err != nil {
 		return shard.RunSpec{}, "", err
 	}
+	bias, err := sim.ParseBias(req.Options.Bias)
+	if err != nil {
+		return shard.RunSpec{}, "", err
+	}
+	if bias != 0 && kernel != sim.KernelMemoryless {
+		// Reject at compile time so the caller gets a 400, not a
+		// mid-run failure from the pool.
+		return shard.RunSpec{}, "", fmt.Errorf("serve: bias %q requires the memoryless kernel (configuration resolved %v)", req.Options.Bias, kernel)
+	}
 	o := sim.Options{
 		Iterations:        req.Options.Iterations,
 		MissionTime:       req.Options.MissionTime,
 		Seed:              req.Options.Seed,
 		Confidence:        req.Options.Confidence,
 		Kernel:            kernel,
+		Bias:              bias,
 		TargetHalfWidth:   req.Options.TargetHalfWidth,
 		MaxIters:          req.Options.MaxIters,
 		HistogramBins:     req.Options.HistogramBins,

@@ -27,6 +27,9 @@ func RunFingerprint(p WireParams, o sim.Options) string {
 	if o.Confidence == 0 {
 		o.Confidence = 0.99 // the sim default; 0 and 0.99 are one run
 	}
+	if o.Bias == 1 {
+		o.Bias = 0 // an explicit factor of 1 is off; one run either way
+	}
 	h := fnv.New64a()
 	_, _ = io.WriteString(h, "herald-run-fp-v1\n")
 	enc := json.NewEncoder(h)

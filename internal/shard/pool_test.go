@@ -385,6 +385,26 @@ func TestRunFingerprintScheduleIndependent(t *testing.T) {
 	if fp, _ := FingerprintOf(p, o5); fp == base {
 		t.Error("iteration change kept the fingerprint")
 	}
+	// Biasing changes the sampled measure, so biased and unbiased runs
+	// must never alias — and auto is its own key (it resolves
+	// deterministically, but against the parameters).
+	o6 := o
+	o6.Bias = 4
+	fpBias, _ := FingerprintOf(p, o6)
+	if fpBias == base {
+		t.Error("bias factor kept the fingerprint")
+	}
+	o7 := o
+	o7.Bias = sim.BiasAuto
+	if fp, _ := FingerprintOf(p, o7); fp == base || fp == fpBias {
+		t.Error("auto bias aliased another run")
+	}
+	// An explicit factor 1 is off — one run with the unbiased default.
+	o8 := o
+	o8.Bias = 1
+	if fp, _ := FingerprintOf(p, o8); fp != base {
+		t.Error("explicit bias 1 changed the fingerprint")
+	}
 	// Domain separation from the checkpoint fingerprint.
 	w, err := EncodeParams(p)
 	if err != nil {

@@ -219,3 +219,40 @@ func TestWireParamsRoundTrip(t *testing.T) {
 		t.Error("round-tripped params changed the simulation")
 	}
 }
+
+// TestShardedBiasedMatchesSingleProcess extends the byte-identity
+// contract to importance-sampled runs: the weighted accumulators ride
+// the shard wire codec and checkpoint path, so a biased sharded
+// Summary must equal the single-process one byte for byte, for every
+// shard/worker partition.
+func TestShardedBiasedMatchesSingleProcess(t *testing.T) {
+	for _, pol := range []sim.Policy{sim.Conventional, sim.AutoFailover, sim.DualParity} {
+		p := testParams(pol)
+		o := testOptions()
+		o.Bias = sim.BiasAuto
+		base, err := sim.Run(p, o)
+		if err != nil {
+			t.Fatalf("%v: baseline: %v", pol, err)
+		}
+		if base.Bias <= 0 || !(base.ESS > 0) {
+			t.Fatalf("%v: baseline not weighted: factor %v, ESS %v", pol, base.Bias, base.ESS)
+		}
+		want := summaryBytes(t, base)
+		for _, cfg := range []struct{ shards, workers int }{
+			{2, 2}, {7, 3}, {64, 4},
+		} {
+			workers := make([]Worker, cfg.workers)
+			for i := range workers {
+				workers[i] = NewInProcessWorker("w", 1)
+			}
+			got, err := Run(Config{Params: p, Options: o, Shards: cfg.shards, Workers: workers})
+			if err != nil {
+				t.Fatalf("%v shards=%d workers=%d: %v", pol, cfg.shards, cfg.workers, err)
+			}
+			if g := summaryBytes(t, got); string(g) != string(want) {
+				t.Errorf("%v shards=%d workers=%d: biased summary diverged\n got %s\nwant %s",
+					pol, cfg.shards, cfg.workers, g, want)
+			}
+		}
+	}
+}

@@ -35,6 +35,12 @@ type StopScan struct {
 	events int64
 	end    int
 	stopAt int
+
+	// weighted marks the scan of an importance-sampled run: cells then
+	// carry weighted accumulators and the rule is judged on the
+	// weighted stream at ESS-based effective degrees of freedom.
+	weighted bool
+	wacc     stats.WeightedAccumulator
 }
 
 // NewStopScan builds the scan for adaptive options. It errors unless
@@ -60,7 +66,7 @@ func NewStopScan(o Options) (*StopScan, error) {
 		// cap; the rule may not bind below it.
 		floor = o.Iterations
 	}
-	return &StopScan{rule: rule, floor: floor}, nil
+	return &StopScan{rule: rule, floor: floor, weighted: o.Biased()}, nil
 }
 
 // Feed folds the next canonical cell partial — which must start
@@ -73,12 +79,26 @@ func (s *StopScan) Feed(pt *Partial) bool {
 	}
 	s.acc.Merge(&pt.Avail)
 	s.events += pt.DownIters
+	if s.weighted {
+		if pt.WAvail == nil {
+			panic(fmt.Sprintf("sim: stop scan fed unweighted cell [%d,%d) for a biased run", pt.Start, pt.End))
+		}
+		s.wacc.Merge(pt.WAvail)
+	}
 	s.end = pt.End
-	if s.stopAt == 0 && s.end >= s.floor && s.rule.Met(&s.acc, s.events) {
+	if s.stopAt == 0 && s.end >= s.floor && s.met() {
 		s.stopAt = s.end
 		return true
 	}
 	return false
+}
+
+// met evaluates the rule on the stream the run estimates from.
+func (s *StopScan) met() bool {
+	if s.weighted {
+		return s.rule.MetWeighted(&s.wacc)
+	}
+	return s.rule.Met(&s.acc, s.events)
 }
 
 // End returns the contiguous prefix folded so far, in iterations.
@@ -90,6 +110,9 @@ func (s *StopScan) StopAt() int { return s.stopAt }
 // EffectiveHalfWidth returns the rule's safeguarded half-width of the
 // folded prefix (+Inf while the safeguards are unmet).
 func (s *StopScan) EffectiveHalfWidth() float64 {
+	if s.weighted {
+		return s.rule.EffectiveHalfWidthWeighted(&s.wacc)
+	}
 	return s.rule.EffectiveHalfWidth(&s.acc, s.events)
 }
 

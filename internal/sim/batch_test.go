@@ -57,10 +57,10 @@ func TestIterationReplayCrossesRefillBoundaries(t *testing.T) {
 		if err := p.Validate(); err != nil {
 			t.Fatal(err)
 		}
-		warm := newScratch(&p, KernelMemoryless, false)
+		warm := newScratch(&p, KernelMemoryless, false, 0)
 		for it := 0; it < 60; it++ {
 			got := warm.iterate(seed, it, mission)
-			cold := newScratch(&p, KernelMemoryless, false)
+			cold := newScratch(&p, KernelMemoryless, false, 0)
 			if want := cold.iterate(seed, it, mission); got != want {
 				t.Fatalf("%v: iteration %d differs warm vs cold:\n%+v\n%+v", pol, it, got, want)
 			}

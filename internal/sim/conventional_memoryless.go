@@ -31,36 +31,62 @@ import "math"
 // constants: the inverse total exit rate of each state (expInv
 // multiplies instead of divides) and the unnormalized cut points that
 // split a uniform draw over [0, total) among the competing risks.
+//
+// Under failure-biasing importance sampling (Options.Bias), only the
+// winner-selection constants change: every disk-failure share of a
+// race is inflated by the bias factor while holding times keep their
+// nominal law (the inv* fields), so the clock stays calibrated and the
+// per-transition likelihood ratio reduces to a state constant. The
+// ln* fields are those constants — the log-weight a quiet (non-failure)
+// or failure win of each race contributes, all exactly 0 when the
+// bias factor is 1.
 type convMemK struct {
 	invOP    float64 // 1/(n*lambda): all members up
 	invEXP   float64 // 1/(muDF + (n-1)*lambda): repair vs second failure
 	pFailEXP float64 // probability the second failure wins that race
 	raceInv  float64 // geomInv(pFailEXP): the race's skip-draw divisor
 	raceQCap float64 // geomQCap(pFailEXP): its censoring threshold
-	totDU    float64 // muHE + crash + (n-2)*lambda: the DU race
-	invDU    float64
+	totDU    float64 // muHE + crash + b*(n-2)*lambda: the DU race's winner normalizer
+	invDU    float64 // 1/(muHE + crash + (n-2)*lambda): its nominal hold
 	cutDU1   float64 // undo-attempt share
 	cutDU2   float64 // + crash share
 	invTape  float64
+
+	lnQuietEXP float64 // repair wins the exposed race
+	lnFailEXP  float64 // second failure wins it
+	lnQuietDU  float64 // undo or crash wins the DU race
+	lnFailDU   float64 // a further failure wins it
 }
 
-func makeConvMemK(p *ArrayParams, m memRates) convMemK {
+func makeConvMemK(p *ArrayParams, m memRates, bias float64) convMemK {
 	n := float64(p.Disks)
 	totEXP := m.muDF + (n-1)*m.lambda
+	totEXPb := m.muDF + bias*(n-1)*m.lambda
 	totDU := m.muHE + p.CrashRate + (n-2)*m.lambda
-	pFail := (n - 1) * m.lambda / totEXP
-	return convMemK{
+	totDUb := m.muHE + p.CrashRate + bias*(n-2)*m.lambda
+	pFail := bias * (n - 1) * m.lambda / totEXPb
+	k := convMemK{
 		invOP:    inv(n * m.lambda),
 		invEXP:   inv(totEXP),
 		pFailEXP: pFail,
 		raceInv:  geomInv(pFail),
 		raceQCap: geomQCap(pFail),
-		totDU:    totDU,
+		totDU:    totDUb,
 		invDU:    inv(totDU),
 		cutDU1:   m.muHE,
 		cutDU2:   m.muHE + p.CrashRate,
 		invTape:  inv(m.muDDF),
 	}
+	if bias > 1 {
+		lnB := math.Log(bias)
+		k.lnQuietEXP = math.Log(totEXPb / totEXP)
+		k.lnFailEXP = k.lnQuietEXP - lnB
+		if totDU > 0 {
+			k.lnQuietDU = math.Log(totDUb / totDU)
+			k.lnFailDU = k.lnQuietDU - lnB
+		}
+	}
+	return k
 }
 
 // conventionalMemoryless walks one lifetime of the conventional
@@ -111,11 +137,12 @@ func (sc *scratch) conventionalMemoryless(mission float64) iterStats {
 				opSum := sc.erlangChunk(c, k.invOP)
 				exSum := sc.erlangChunk(c, k.invEXP)
 				if t+opSum+exSum >= mission {
-					sc.resolveChunk2(&st, t, mission, c, opSum, exSum)
+					sc.resolveChunk2(&st, t, mission, c, opSum, exSum, k.lnQuietEXP)
 					return st
 				}
 				t += opSum + exSum
 				st.events.Failures += int64(c)
+				st.logW += float64(c) * k.lnQuietEXP
 				raceGap -= c
 				hepGap -= c
 			}
@@ -154,10 +181,12 @@ func (sc *scratch) conventionalMemoryless(mission float64) iterStats {
 				raceGap = -1
 				st.events.Failures++
 				st.events.DoubleFailures++
+				st.logW += k.lnFailEXP
 				t = sc.memDataLoss(&st, t, mission, k.invTape)
 				break
 			}
 			raceGap--
+			st.logW += k.lnQuietEXP
 			if hepGap < 0 || (hepGap == 0 && !hepExact) {
 				hepGap, hepExact = drawGeomGap(r, sc.hepInv, sc.hepQCap)
 				redrawn = true
@@ -186,6 +215,7 @@ func (sc *scratch) conventionalMemoryless(mission float64) iterStats {
 				t += dt
 				u := r.Float64() * k.totDU
 				if u < k.cutDU1 {
+					st.logW += k.lnQuietDU
 					st.events.UndoAttempts++
 					if hepGap < 0 || (hepGap == 0 && !hepExact) {
 						hepGap, hepExact = drawGeomGap(r, sc.hepInv, sc.hepQCap)
@@ -210,9 +240,11 @@ func (sc *scratch) conventionalMemoryless(mission float64) iterStats {
 				st.downDU += t - duStart
 				if u < k.cutDU2 {
 					// The wrongly removed disk crashed while out.
+					st.logW += k.lnQuietDU
 					st.events.Crashes++
 				} else {
 					// A further member failed while unavailable.
+					st.logW += k.lnFailDU
 					st.events.Failures++
 					st.events.DoubleFailures++
 				}

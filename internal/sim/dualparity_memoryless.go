@@ -25,29 +25,55 @@ type dpMemK struct {
 	cutC  float64 // + crash share
 
 	invTape float64
+
+	// Importance-sampling log-weight constants (see convMemK): the
+	// tot*/cut* fields hold bias-inflated winner normalizers, the inv*
+	// fields the nominal holding rates. All 0 when the bias factor is 1.
+	lnQuietE1 float64
+	lnFailE1  float64
+	lnQuietE2 float64
+	lnFailE2  float64
+	lnQuietDU float64
+	lnFailDU  float64
 }
 
-func makeDpMemK(p *ArrayParams, m memRates) dpMemK {
+func makeDpMemK(p *ArrayParams, m memRates, bias float64) dpMemK {
 	n := float64(p.Disks)
 	var k dpMemK
 	k.invOP = inv(n * m.lambda)
 
-	k.totE1 = m.muDF + (n-1)*m.lambda
-	k.invE1 = inv(k.totE1)
-	k.cutE1 = (n - 1) * m.lambda
-	k.gapInv = geomInv(k.cutE1 * k.invE1)
-	k.gapQCap = geomQCap(k.cutE1 * k.invE1)
+	totE1 := m.muDF + (n-1)*m.lambda
+	k.totE1 = m.muDF + bias*(n-1)*m.lambda
+	k.invE1 = inv(totE1)
+	k.cutE1 = bias * (n - 1) * m.lambda
+	p1 := k.cutE1 * inv(k.totE1)
+	k.gapInv = geomInv(p1)
+	k.gapQCap = geomQCap(p1)
 
-	k.totE2 = m.muDF + (n-2)*m.lambda
-	k.invE2 = inv(k.totE2)
-	k.cutE2 = (n - 2) * m.lambda
+	totE2 := m.muDF + (n-2)*m.lambda
+	k.totE2 = m.muDF + bias*(n-2)*m.lambda
+	k.invE2 = inv(totE2)
+	k.cutE2 = bias * (n - 2) * m.lambda
 
-	k.totDU = m.muHE + p.CrashRate + (n-3)*m.lambda
-	k.invDU = inv(k.totDU)
+	totDU := m.muHE + p.CrashRate + (n-3)*m.lambda
+	k.totDU = m.muHE + p.CrashRate + bias*(n-3)*m.lambda
+	k.invDU = inv(totDU)
 	k.cutU = m.muHE
 	k.cutC = m.muHE + p.CrashRate
 
 	k.invTape = inv(m.muDDF)
+
+	if bias > 1 {
+		lnB := math.Log(bias)
+		k.lnQuietE1 = math.Log(k.totE1 / totE1)
+		k.lnFailE1 = k.lnQuietE1 - lnB
+		k.lnQuietE2 = math.Log(k.totE2 / totE2)
+		k.lnFailE2 = k.lnQuietE2 - lnB
+		if totDU > 0 {
+			k.lnQuietDU = math.Log(k.totDU / totDU)
+			k.lnFailDU = k.lnQuietDU - lnB
+		}
+	}
 	return k
 }
 
@@ -95,11 +121,12 @@ func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
 					opSum := sc.erlangChunk(c, k.invOP)
 					e1Sum := sc.erlangChunk(c, k.invE1)
 					if t+opSum+e1Sum >= mission {
-						sc.resolveChunk2(&st, t, mission, c, opSum, e1Sum)
+						sc.resolveChunk2(&st, t, mission, c, opSum, e1Sum, k.lnQuietE1)
 						return st
 					}
 					t += opSum + e1Sum
 					st.events.Failures += int64(c)
+					st.logW += float64(c) * k.lnQuietE1
 					gap1 -= c
 					sc.hepGap -= c
 				}
@@ -125,10 +152,12 @@ func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
 			if gap1 == 0 {
 				gap1 = -1
 				st.events.Failures++
+				st.logW += k.lnFailE1
 				missing = 2
 				continue
 			}
 			gap1--
+			st.logW += k.lnQuietE1
 			if !sc.hepTrial(r) {
 				missing = 0
 				continue
@@ -149,10 +178,12 @@ func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
 				// Third concurrent loss: data gone.
 				st.events.Failures++
 				st.events.DoubleFailures++
+				st.logW += k.lnFailE2
 				t = sc.memDataLoss(&st, t, mission, k.invTape)
 				missing = 0
 				continue
 			}
+			st.logW += k.lnQuietE2
 			if !sc.hepTrial(r) {
 				missing = 1 // one member repaired
 				continue
@@ -170,6 +201,7 @@ func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
 				t += dt
 				u := r.Float64() * k.totDU
 				if u < k.cutU {
+					st.logW += k.lnQuietDU
 					st.events.UndoAttempts++
 					if sc.hepTrial(r) {
 						st.events.HumanErrors++
@@ -191,9 +223,11 @@ func (sc *scratch) dualParityMemoryless(mission float64) iterStats {
 				}
 				st.downDU += t - duStart
 				if u < k.cutC {
+					st.logW += k.lnQuietDU
 					st.events.Crashes++
 				} else {
 					// Fourth loss while unavailable: catastrophic.
+					st.logW += k.lnFailDU
 					st.events.Failures++
 					st.events.DoubleFailures++
 				}

@@ -216,8 +216,17 @@ type scratch struct {
 // newScratch builds a worker's scratch for the given kernel request.
 // Kernel feasibility must have been checked beforehand (resolveKernel
 // in RunRange); an infeasible forced request falls back to the generic
-// walker here.
-func newScratch(p *ArrayParams, k Kernel, noBatch bool) *scratch {
+// walker here. bias is the resolved failure-inflation factor of an
+// importance-sampled run (values <= 1 mean unbiased; prepareRange
+// rejects biased requests on non-memoryless configurations before any
+// scratch is built). With bias 1 every kernel constant below is
+// bit-identical to the unbiased construction — multiplying a rate by
+// 1.0 is exact and ln(1) is 0 — so unbiased realizations are
+// unchanged.
+func newScratch(p *ArrayParams, k Kernel, noBatch bool, bias float64) *scratch {
+	if bias < 1 {
+		bias = 1
+	}
 	sc := &scratch{
 		p:         p,
 		noBatch:   noBatch,
@@ -233,11 +242,11 @@ func newScratch(p *ArrayParams, k Kernel, noBatch bool) *scratch {
 		sc.memoryless = true
 		switch p.Policy {
 		case AutoFailover:
-			sc.foK = makeFoMemK(p, m)
+			sc.foK = makeFoMemK(p, m, bias)
 		case DualParity:
-			sc.dpK = makeDpMemK(p, m)
+			sc.dpK = makeDpMemK(p, m, bias)
 		default:
-			sc.convK = makeConvMemK(p, m)
+			sc.convK = makeConvMemK(p, m, bias)
 		}
 		return sc
 	}
@@ -491,7 +500,13 @@ func quietChunk(expCycles float64, g1, g2, g3 int) int {
 // the unaggregated walk would. The array is up throughout a benign
 // cycle, so no downtime accrues, and the iteration ends inside the
 // chunk by construction.
-func (sc *scratch) resolveChunk2(st *iterStats, t, mission float64, c int, aTot, bTot float64) {
+//
+// lnB is the per-cycle quiet-race log-weight of an importance-sampled
+// run (0 unbiased): a cycle's race trial only manifests once its
+// b-phase hold completes within the mission, so the weight lands after
+// that censoring check — the chunk's skip counters stay untouched for
+// a straddling chunk, and trials the mission cuts off must not weigh.
+func (sc *scratch) resolveChunk2(st *iterStats, t, mission float64, c int, aTot, bTot, lnB float64) {
 	a, b := sc.aggA[:c], sc.aggB[:c]
 	sc.src.ExpFloat64N(a)
 	sc.src.ExpFloat64N(b)
@@ -511,6 +526,7 @@ func (sc *scratch) resolveChunk2(st *iterStats, t, mission float64, c int, aTot,
 		if t >= mission {
 			return
 		}
+		st.logW += lnB
 	}
 	// Unreachable up to floating-point rounding of the prefix sums;
 	// landing here means the mission boundary fell within rounding of
@@ -518,8 +534,11 @@ func (sc *scratch) resolveChunk2(st *iterStats, t, mission float64, c int, aTot,
 }
 
 // resolveChunk3 is resolveChunk2 for the fail-over policy's
-// three-phase benign cycle (OP hold, then rebuild, then swap).
-func (sc *scratch) resolveChunk3(st *iterStats, t, mission float64, c int, aTot, bTot, cTot float64) {
+// three-phase benign cycle (OP hold, then rebuild, then swap); lnB and
+// lnD are the rebuild and swap phases' quiet-race log-weights. The two
+// tail holds advance time separately so each race's weight sits behind
+// its own censoring check.
+func (sc *scratch) resolveChunk3(st *iterStats, t, mission float64, c int, aTot, bTot, cTot, lnB, lnD float64) {
 	a, b, d := sc.aggA[:c], sc.aggB[:c], sc.aggC[:c]
 	sc.src.ExpFloat64N(a)
 	sc.src.ExpFloat64N(b)
@@ -537,9 +556,15 @@ func (sc *scratch) resolveChunk3(st *iterStats, t, mission float64, c int, aTot,
 			return
 		}
 		st.events.Failures++
-		t += b[i]*sb + d[i]*sd
+		t += b[i] * sb
 		if t >= mission {
 			return
 		}
+		st.logW += lnB
+		t += d[i] * sd
+		if t >= mission {
+			return
+		}
+		st.logW += lnD
 	}
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // foMemK holds the fail-over memoryless kernel's per-phase constants:
 // for each phase of the Fig. 3 machine, the inverse total exit rate
 // and the unnormalized cut points of its competing risks. Phase
@@ -41,46 +43,92 @@ type foMemK struct {
 	cutCDU2 float64
 
 	invTape float64
+
+	// Importance-sampling log-weight constants, one quiet/fail pair per
+	// biased race (see convMemK): the tot*/cut* fields above hold the
+	// bias-inflated winner normalizers while the inv* fields keep the
+	// nominal holding rates. lnQuietCycle is the benign cycle's combined
+	// quiet weight (EXP1 + OPns), precomputed for the chunk loop. All 0
+	// when the bias factor is 1.
+	lnQuietEXP1  float64
+	lnFailEXP1   float64
+	lnQuietOPns  float64
+	lnFailOPns   float64
+	lnQuietEXPns1 float64
+	lnFailEXPns1  float64
+	lnQuietEXPns2 float64
+	lnFailEXPns2  float64
+	lnQuietDU1   float64
+	lnFailDU1    float64
+	lnQuietDU2   float64
+	lnFailDU2    float64
+	lnQuietCycle float64
 }
 
-func makeFoMemK(p *ArrayParams, m memRates) foMemK {
+func makeFoMemK(p *ArrayParams, m memRates, bias float64) foMemK {
 	n := float64(p.Disks)
 	crash := p.CrashRate
 	var k foMemK
 	k.invOP = inv(n * m.lambda)
 
-	k.totEXP1 = m.muS + (n-1)*m.lambda
-	k.invEXP1 = inv(k.totEXP1)
-	k.cutEXP1 = (n - 1) * m.lambda
-	k.gap1Inv = geomInv(k.cutEXP1 * k.invEXP1)
-	k.gap1QCap = geomQCap(k.cutEXP1 * k.invEXP1)
+	totEXP1 := m.muS + (n-1)*m.lambda
+	k.totEXP1 = m.muS + bias*(n-1)*m.lambda
+	k.invEXP1 = inv(totEXP1)
+	k.cutEXP1 = bias * (n - 1) * m.lambda
+	p1 := k.cutEXP1 * inv(k.totEXP1)
+	k.gap1Inv = geomInv(p1)
+	k.gap1QCap = geomQCap(p1)
 
-	k.totOPns = m.muCH + n*m.lambda
-	k.invOPns = inv(k.totOPns)
-	k.cutOPns = n * m.lambda
-	k.gap2Inv = geomInv(k.cutOPns * k.invOPns)
-	k.gap2QCap = geomQCap(k.cutOPns * k.invOPns)
+	totOPns := m.muCH + n*m.lambda
+	k.totOPns = m.muCH + bias*n*m.lambda
+	k.invOPns = inv(totOPns)
+	k.cutOPns = bias * n * m.lambda
+	p2 := k.cutOPns * inv(k.totOPns)
+	k.gap2Inv = geomInv(p2)
+	k.gap2QCap = geomQCap(p2)
 
-	k.totEXPns1 = m.muDF + (n-1)*m.lambda
-	k.invEXPns1 = inv(k.totEXPns1)
-	k.cutEXPns1 = (n - 1) * m.lambda
+	totEXPns1 := m.muDF + (n-1)*m.lambda
+	k.totEXPns1 = m.muDF + bias*(n-1)*m.lambda
+	k.invEXPns1 = inv(totEXPns1)
+	k.cutEXPns1 = bias * (n - 1) * m.lambda
 
-	k.totEXPns2 = m.muHE + crash + (n-1)*m.lambda
-	k.invEXPns2 = inv(k.totEXPns2)
+	totEXPns2 := m.muHE + crash + (n-1)*m.lambda
+	k.totEXPns2 = m.muHE + crash + bias*(n-1)*m.lambda
+	k.invEXPns2 = inv(totEXPns2)
 	k.cutUEXPns2 = m.muHE
 	k.cutCEXPns2 = m.muHE + crash
 
-	k.totDU1 = m.muHE + crash + (n-2)*m.lambda
-	k.invDU1 = inv(k.totDU1)
+	totDU1 := m.muHE + crash + (n-2)*m.lambda
+	k.totDU1 = m.muHE + crash + bias*(n-2)*m.lambda
+	k.invDU1 = inv(totDU1)
 	k.cutUDU1 = m.muHE
 	k.cutCDU1 = m.muHE + crash
 
-	k.totDU2 = m.muHE + 2*crash + (n-2)*m.lambda
-	k.invDU2 = inv(k.totDU2)
+	totDU2 := m.muHE + 2*crash + (n-2)*m.lambda
+	k.totDU2 = m.muHE + 2*crash + bias*(n-2)*m.lambda
+	k.invDU2 = inv(totDU2)
 	k.cutUDU2 = m.muHE
 	k.cutCDU2 = m.muHE + 2*crash
 
 	k.invTape = inv(m.muDDF)
+
+	if bias > 1 {
+		lnB := math.Log(bias)
+		lnPair := func(biased, nominal float64) (quiet, fail float64) {
+			if nominal <= 0 {
+				return 0, 0
+			}
+			quiet = math.Log(biased / nominal)
+			return quiet, quiet - lnB
+		}
+		k.lnQuietEXP1, k.lnFailEXP1 = lnPair(k.totEXP1, totEXP1)
+		k.lnQuietOPns, k.lnFailOPns = lnPair(k.totOPns, totOPns)
+		k.lnQuietEXPns1, k.lnFailEXPns1 = lnPair(k.totEXPns1, totEXPns1)
+		k.lnQuietEXPns2, k.lnFailEXPns2 = lnPair(k.totEXPns2, totEXPns2)
+		k.lnQuietDU1, k.lnFailDU1 = lnPair(k.totDU1, totDU1)
+		k.lnQuietDU2, k.lnFailDU2 = lnPair(k.totDU2, totDU2)
+		k.lnQuietCycle = k.lnQuietEXP1 + k.lnQuietOPns
+	}
 	return k
 }
 
@@ -134,11 +182,12 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 					exSum := sc.erlangChunk(c, k.invEXP1)
 					nsSum := sc.erlangChunk(c, k.invOPns)
 					if t+opSum+exSum+nsSum >= mission {
-						sc.resolveChunk3(&st, t, mission, c, opSum, exSum, nsSum)
+						sc.resolveChunk3(&st, t, mission, c, opSum, exSum, nsSum, k.lnQuietEXP1, k.lnQuietOPns)
 						return st
 					}
 					t += opSum + exSum + nsSum
 					st.events.Failures += int64(c)
+					st.logW += float64(c) * k.lnQuietCycle
 					gap1 -= c
 					gap2 -= c
 					sc.hepGap -= c
@@ -166,6 +215,7 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 				gap1 = -1
 				st.events.Failures++
 				st.events.DoubleFailures++
+				st.logW += k.lnFailEXP1
 				t = sc.memDataLoss(&st, t, mission, k.invTape)
 				// Restore rebuilds the full configuration, spare
 				// included (Fig. 3: DL --muDDF--> OP).
@@ -173,6 +223,7 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 				continue
 			}
 			gap1--
+			st.logW += k.lnQuietEXP1
 			phase = phOPns // spare now carries the data
 
 		case phOPns:
@@ -189,10 +240,12 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 			if gap2 == 0 {
 				gap2 = -1
 				st.events.Failures++
+				st.logW += k.lnFailOPns
 				phase = phEXPns1
 				continue
 			}
 			gap2--
+			st.logW += k.lnQuietOPns
 			if !sc.hepTrial(r) {
 				phase = phOP // spare slot replenished
 				continue
@@ -211,10 +264,12 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 			if r.Float64()*k.totEXPns1 < k.cutEXPns1 {
 				st.events.Failures++
 				st.events.DoubleFailures++
+				st.logW += k.lnFailEXPns1
 				t = sc.memDataLoss(&st, t, mission, k.invTape)
 				phase = phOPns // DLns --muDDF--> OPns
 				continue
 			}
+			st.logW += k.lnQuietEXPns1
 			if !sc.hepTrial(r) {
 				phase = phOPns
 				continue
@@ -233,6 +288,7 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 			u := r.Float64() * k.totEXPns2
 			switch {
 			case u < k.cutUEXPns2:
+				st.logW += k.lnQuietEXPns2
 				st.events.UndoAttempts++
 				if sc.hepTrial(r) {
 					// Second error pulls another healthy member.
@@ -247,10 +303,12 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 			case u < k.cutCEXPns2:
 				// Pulled disk died while out: it is now simply a
 				// failed member with no spare.
+				st.logW += k.lnQuietEXPns2
 				st.events.Crashes++
 				phase = phEXPns1
 			default:
 				// Failure on top of the pull: unavailable.
+				st.logW += k.lnFailEXPns2
 				st.events.Failures++
 				duStart = t
 				phase = phDUns1
@@ -267,6 +325,7 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 			u := r.Float64() * k.totDU1
 			switch {
 			case u < k.cutUDU1:
+				st.logW += k.lnQuietDU1
 				st.events.UndoAttempts++
 				if sc.hepTrial(r) {
 					st.events.HumanErrors++
@@ -277,12 +336,14 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 				phase = phEXPns1
 			case u < k.cutCDU1:
 				// Pulled disk crashed: double loss, restore.
+				st.logW += k.lnQuietDU1
 				st.events.Crashes++
 				st.downDU += t - duStart
 				t = sc.memDataLoss(&st, t, mission, k.invTape)
 				phase = phOPns
 			default:
 				// Third member lost: catastrophic, restore all.
+				st.logW += k.lnFailDU1
 				st.events.Failures++
 				st.events.DoubleFailures++
 				st.downDU += t - duStart
@@ -301,6 +362,7 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 			u := r.Float64() * k.totDU2
 			switch {
 			case u < k.cutUDU2:
+				st.logW += k.lnQuietDU2
 				st.events.UndoAttempts++
 				if sc.hepTrial(r) {
 					st.events.HumanErrors++
@@ -312,12 +374,14 @@ func (sc *scratch) failoverMemoryless(mission float64) iterStats {
 			case u < k.cutCDU2:
 				// One of the two pulled disks crashed; it becomes the
 				// failed member of a still-unavailable DUns1.
+				st.logW += k.lnQuietDU2
 				st.events.Crashes++
 				st.downDU += t - duStart
 				duStart = t
 				phase = phDUns1
 			default:
 				// Failure with two members out: catastrophic.
+				st.logW += k.lnFailDU2
 				st.events.Failures++
 				st.events.DoubleFailures++
 				st.downDU += t - duStart

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -102,6 +103,20 @@ type Partial struct {
 	// Hist is the per-iteration downtime histogram when
 	// Options.HistogramBins was set; nil otherwise.
 	Hist *stats.Histogram `json:"hist,omitempty"`
+	// Bias is the concrete failure-inflation factor the range sampled
+	// under (> 0 exactly for importance-sampled ranges, including an
+	// auto request that resolved to 1); 0 for unbiased ranges.
+	// Summarize requires it to be consistent across a run's partials —
+	// auto resolution happens once, in prepareRange, never per worker.
+	Bias float64 `json:"bias,omitempty"`
+	// WAvail/WDownDU/WDownDL are the weighted counterparts of the
+	// accumulators above, carrying each iteration's importance weight
+	// exp(logW). Set exactly when Bias > 0; the unweighted accumulators
+	// are still filled (they describe the raw proposal-law stream and
+	// keep the merge-tree contract uniform).
+	WAvail  *stats.WeightedAccumulator `json:"w_avail,omitempty"`
+	WDownDU *stats.WeightedAccumulator `json:"w_down_du,omitempty"`
+	WDownDL *stats.WeightedAccumulator `json:"w_down_dl,omitempty"`
 }
 
 // histMaxFor returns the downtime histogram's upper edge for the run
@@ -119,14 +134,20 @@ func histMaxFor(o Options) float64 {
 // (params, options, cell) — independent of which worker, process or
 // machine computed it.
 func (sc *scratch) runCell(c Range, opts Options, histMax float64) Partial {
-	pt := Partial{Start: c.Start, End: c.End, Seed: opts.Seed, MissionTime: opts.MissionTime}
+	pt := Partial{Start: c.Start, End: c.End, Seed: opts.Seed, MissionTime: opts.MissionTime, Bias: opts.Bias}
 	if opts.HistogramBins > 0 {
 		pt.Hist = stats.NewHistogram(0, histMax, opts.HistogramBins)
+	}
+	if opts.Bias > 0 {
+		pt.WAvail = &stats.WeightedAccumulator{}
+		pt.WDownDU = &stats.WeightedAccumulator{}
+		pt.WDownDL = &stats.WeightedAccumulator{}
 	}
 	for it := c.Start; it < c.End; it++ {
 		is := sc.iterate(opts.Seed, it, opts.MissionTime)
 		down := is.downDU + is.downDL
-		pt.Avail.Add(1 - down/opts.MissionTime)
+		av := 1 - down/opts.MissionTime
+		pt.Avail.Add(av)
 		pt.DownDU.Add(is.downDU)
 		pt.DownDL.Add(is.downDL)
 		if down > 0 {
@@ -135,6 +156,12 @@ func (sc *scratch) runCell(c Range, opts Options, histMax float64) Partial {
 		pt.Events.Merge(is.events)
 		if pt.Hist != nil {
 			pt.Hist.Add(down)
+		}
+		if pt.WAvail != nil {
+			w := math.Exp(is.logW)
+			pt.WAvail.Add(av, w)
+			pt.WDownDU.Add(is.downDU, w)
+			pt.WDownDL.Add(is.downDL, w)
 		}
 	}
 	return pt
@@ -159,10 +186,29 @@ func prepareRange(p *ArrayParams, o *Options, start, end int) (Options, []Range,
 	}
 	// Resolve the kernel once, up front: a forced-but-impossible
 	// specialization fails the run here rather than inside a worker.
-	if _, _, err := resolveKernel(p, o.Kernel); err != nil {
+	_, useMem, err := resolveKernel(p, o.Kernel)
+	if err != nil {
 		return Options{}, nil, err
 	}
-	return o.withDefaults(), cellsIn(o.Iterations, start, end), nil
+	opts := o.withDefaults()
+	// Resolve the bias factor once, too: the concrete factor is fixed
+	// here (auto picks from the rates) and echoed into every Partial,
+	// so all workers — local goroutines or remote shards running the
+	// same resolved options — sample under the identical measure.
+	opts.Bias = 0
+	if o.Biased() {
+		if !useMem {
+			return Options{}, nil, fmt.Errorf(
+				"sim: bias factor %v requires the memoryless kernel (exponential laws throughout; kernel %v resolved generic)",
+				o.Bias, o.Kernel)
+		}
+		b, err := ResolveBias(*p, *o)
+		if err != nil {
+			return Options{}, nil, err
+		}
+		opts.Bias = b
+	}
+	return opts, cellsIn(o.Iterations, start, end), nil
 }
 
 // ErrStopped is returned by RunRangeStream when the stop channel
@@ -198,7 +244,7 @@ func RunRangeStream(p ArrayParams, o Options, start, end int, out chan<- Partial
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := newScratch(&p, opts.Kernel, opts.noBatch)
+			sc := newScratch(&p, opts.Kernel, opts.noBatch, opts.Bias)
 			for {
 				select {
 				case <-stop:
@@ -252,7 +298,7 @@ func RunRange(p ArrayParams, o Options, start, end int) ([]Partial, error) {
 		// Single-worker runs walk the cells inline: no goroutine,
 		// no atomic cursor. Same scratch, same cell order, so the
 		// output is bit-identical to the concurrent path.
-		sc := newScratch(&p, opts.Kernel, opts.noBatch)
+		sc := newScratch(&p, opts.Kernel, opts.noBatch, opts.Bias)
 		for ci := range cells {
 			parts[ci] = sc.runCell(cells[ci], opts, histMax)
 		}
@@ -264,7 +310,7 @@ func RunRange(p ArrayParams, o Options, start, end int) ([]Partial, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := newScratch(&p, opts.Kernel, opts.noBatch)
+			sc := newScratch(&p, opts.Kernel, opts.noBatch, opts.Bias)
 			for {
 				ci := int(next.Add(1)) - 1
 				if ci >= len(cells) {
@@ -303,9 +349,12 @@ func Summarize(o Options, parts []Partial) (Summary, error) {
 	})
 
 	var acc, du, dl stats.Accumulator
+	var wav, wdu, wdl stats.WeightedAccumulator
 	var events EventCounts
 	var downIters int64
 	var hist *stats.Histogram
+	biased := opts.Biased()
+	biasFactor := 0.0
 	cursor := 0
 	for i := range sorted {
 		pt := &sorted[i]
@@ -330,6 +379,28 @@ func Summarize(o Options, parts []Partial) (Summary, error) {
 		if got, want := pt.Avail.N(), int64(pt.End-pt.Start); got != want {
 			return Summary{}, fmt.Errorf("sim: partial [%d,%d) carries %d observations, want %d",
 				pt.Start, pt.End, got, want)
+		}
+		if biased {
+			if pt.Bias <= 0 || pt.WAvail == nil || pt.WDownDU == nil || pt.WDownDL == nil {
+				return Summary{}, fmt.Errorf("sim: partial [%d,%d) carries no importance weights for a biased run",
+					pt.Start, pt.End)
+			}
+			if biasFactor == 0 {
+				biasFactor = pt.Bias
+			} else if pt.Bias != biasFactor {
+				return Summary{}, fmt.Errorf("sim: partial [%d,%d) sampled under bias %v, want %v",
+					pt.Start, pt.End, pt.Bias, biasFactor)
+			}
+			if got, want := pt.WAvail.N(), int64(pt.End-pt.Start); got != want {
+				return Summary{}, fmt.Errorf("sim: partial [%d,%d) carries %d weighted observations, want %d",
+					pt.Start, pt.End, got, want)
+			}
+			wav.Merge(pt.WAvail)
+			wdu.Merge(pt.WDownDU)
+			wdl.Merge(pt.WDownDL)
+		} else if pt.Bias != 0 {
+			return Summary{}, fmt.Errorf("sim: partial [%d,%d) sampled under bias %v in an unbiased run",
+				pt.Start, pt.End, pt.Bias)
 		}
 		acc.Merge(&pt.Avail)
 		du.Merge(&pt.DownDU)
@@ -356,29 +427,50 @@ func Summarize(o Options, parts []Partial) (Summary, error) {
 	}
 
 	avail := acc.Mean()
+	halfWidth := acc.HalfWidth(opts.Confidence)
+	meanDU, meanDL := du.Mean(), dl.Mean()
+	ess, availHT := 0.0, 0.0
+	if biased {
+		// A biased run reports the self-normalized weighted estimates;
+		// the weighted fold above walks the same cell order as the
+		// unweighted one, so it is equally partition-independent.
+		avail = wav.Mean()
+		halfWidth = wav.HalfWidth(opts.Confidence)
+		meanDU, meanDL = wdu.Mean(), wdl.Mean()
+		ess = wav.ESS()
+		availHT = wav.MeanHT()
+	}
 	// Converged is the stopping rule's own verdict — with its
 	// effective-N safeguards — not a raw half-width comparison: a
 	// zero-variance or event-starved stream reports half-width 0 but
 	// must never be certified as converged (the fold here reproduces
 	// the StopScan accumulator bit for bit, so the verdict matches the
-	// scan's at the stopping boundary).
+	// scan's at the stopping boundary). Biased runs judge the weighted
+	// stream at ESS-based effective degrees of freedom.
 	converged := false
 	if opts.TargetHalfWidth > 0 {
 		rule := stats.StopRule{TargetHalfWidth: opts.TargetHalfWidth, Confidence: opts.Confidence}
-		converged = rule.Met(&acc, downIters)
+		if biased {
+			converged = rule.MetWeighted(&wav)
+		} else {
+			converged = rule.Met(&acc, downIters)
+		}
 	}
 	return Summary{
 		Availability:      avail,
-		HalfWidth:         acc.HalfWidth(opts.Confidence),
+		HalfWidth:         halfWidth,
 		Nines:             stats.Nines(avail),
-		MeanDowntimeDU:    du.Mean(),
-		MeanDowntimeDL:    dl.Mean(),
+		MeanDowntimeDU:    meanDU,
+		MeanDowntimeDL:    meanDL,
 		Iterations:        opts.Iterations,
 		MissionTime:       opts.MissionTime,
 		Confidence:        opts.Confidence,
 		TargetHalfWidth:   opts.TargetHalfWidth,
 		Converged:         converged,
 		Events:            events,
+		Bias:              biasFactor,
+		ESS:               ess,
+		AvailabilityHT:    availHT,
 		DowntimeHistogram: hist,
 	}, nil
 }

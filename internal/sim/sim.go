@@ -284,6 +284,22 @@ type Options struct {
 	// Iterations (which becomes the minimum executed before the rule
 	// may bind). Zero means Iterations is the cap.
 	MaxIters int
+	// Bias turns on failure-biasing importance sampling in the
+	// memoryless walkers: event *selection* inflates every disk-failure
+	// rate by this factor (holding times keep their nominal law, so
+	// clocks stay calibrated) and each iteration carries the exact
+	// likelihood ratio, accumulated as a running sum of per-event
+	// rate-ratio logs. Estimates are reweighted, so they remain
+	// consistent for the unbiased quantities; convergence switches to
+	// the effective sample size (see stats.StopRule.MetWeighted and the
+	// README's "Rare-event acceleration" section).
+	//
+	// 0 (and the no-op factor 1) disable biasing entirely; BiasAuto
+	// picks a factor from the failure/repair rate ratio of the
+	// configuration; factors > 1 are used as given. Requires the
+	// memoryless kernel. The field is omitted from JSON when zero, so
+	// unbiased fingerprints, checkpoints and cache keys are unchanged.
+	Bias float64 `json:"Bias,omitempty"`
 
 	// noBatch disables the batching transforms of the hot loop — the
 	// exponential refill buffer and benign-cycle Erlang aggregation —
@@ -296,6 +312,12 @@ type Options struct {
 // Adaptive reports whether the options request a precision-targeted
 // (sequentially stopped) run.
 func (o *Options) Adaptive() bool { return o.TargetHalfWidth > 0 }
+
+// Biased reports whether the options request importance sampling: an
+// automatic or explicitly > 1 bias factor. An explicit factor of 1 is
+// a no-op and runs the plain unbiased path (its fingerprint is
+// normalized accordingly, see shard.RunFingerprint).
+func (o *Options) Biased() bool { return o.Bias == BiasAuto || o.Bias > 1 }
 
 // IterationCap returns the planned iteration ceiling of the run:
 // MaxIters for adaptive runs that set it, Iterations otherwise. The
@@ -348,6 +370,10 @@ func (o *Options) Validate() error {
 		if o.MaxIters < o.Iterations {
 			return fmt.Errorf("sim: MaxIters %d below the Iterations minimum %d", o.MaxIters, o.Iterations)
 		}
+	}
+	// The negated form catches NaN; Inf must be rejected explicitly.
+	if o.Bias != 0 && o.Bias != BiasAuto && (!(o.Bias >= 1) || math.IsInf(o.Bias, 0)) {
+		return fmt.Errorf("sim: bias factor %v must be 0 (off), sim.BiasAuto or a finite factor >= 1", o.Bias)
 	}
 	return nil
 }
@@ -406,6 +432,22 @@ type Summary struct {
 	Converged bool
 	// Events aggregates incident counts.
 	Events EventCounts
+	// Bias is the concrete failure-inflation factor an
+	// importance-sampled run executed with (the resolved value when
+	// Options.Bias was BiasAuto); 0 for unbiased runs. When set,
+	// Availability/MeanDowntime* are the self-normalized weighted
+	// estimates and HalfWidth is computed at ESS-based degrees of
+	// freedom.
+	Bias float64 `json:",omitempty"`
+	// ESS is the Kish effective sample size (Σw)²/Σw² of a biased run's
+	// importance weights — the equally-weighted iteration count carrying
+	// the same information; 0 for unbiased runs.
+	ESS float64 `json:",omitempty"`
+	// AvailabilityHT is the Horvitz–Thompson availability estimate
+	// Σwx/n of a biased run (unbiased in expectation; reported as a
+	// weight-degeneracy diagnostic against the self-normalized
+	// Availability); 0 for unbiased runs.
+	AvailabilityHT float64 `json:",omitempty"`
 	// DowntimeHistogram is the per-iteration total-downtime histogram
 	// when Options.HistogramBins was set; nil otherwise.
 	DowntimeHistogram *stats.Histogram
@@ -437,6 +479,9 @@ func (s Summary) MarshalJSON() ([]byte, error) {
 		TargetHalfWidth   float64
 		Converged         bool
 		Events            EventCounts
+		Bias              float64 `json:",omitempty"`
+		ESS               float64 `json:",omitempty"`
+		AvailabilityHT    float64 `json:",omitempty"`
 		DowntimeHistogram *stats.Histogram
 	}
 	return json.Marshal(wire{
@@ -451,6 +496,9 @@ func (s Summary) MarshalJSON() ([]byte, error) {
 		TargetHalfWidth:   s.TargetHalfWidth,
 		Converged:         s.Converged,
 		Events:            s.Events,
+		Bias:              s.Bias,
+		ESS:               s.ESS,
+		AvailabilityHT:    s.AvailabilityHT,
 		DowntimeHistogram: s.DowntimeHistogram,
 	})
 }
@@ -463,9 +511,13 @@ func (s Summary) Interval() stats.Interval {
 // Unavailability returns 1 - Availability.
 func (s Summary) Unavailability() float64 { return stats.Unavailability(s.Availability) }
 
-// iterStats is the outcome of one simulated lifetime.
+// iterStats is the outcome of one simulated lifetime. logW is the
+// running log-likelihood ratio of an importance-sampled iteration
+// (nominal law over proposal law; exactly 0 for unbiased runs, where
+// every per-event constant feeding it is 0).
 type iterStats struct {
 	downDU, downDL float64
+	logW           float64
 	events         EventCounts
 }
 

@@ -103,18 +103,30 @@ func (r StopRule) minEvents() int64 {
 // min(n-1, events) degrees of freedom times the standard error.
 // It returns +Inf while either floor is unmet or the variance is zero,
 // so the value is directly comparable ("not yet enough information"
-// sorts above every target).
+// sorts above every target). Degenerate effective-df inputs — a
+// negative event count, a NaN or negative variance (e.g. restored from
+// a corrupt snapshot) — likewise answer +Inf: a rule must never report
+// "met" off inputs it cannot interpret.
 func (r StopRule) EffectiveHalfWidth(a *Accumulator, events int64) float64 {
 	n := a.N()
-	if n < r.minN() || events < r.minEvents() || a.Variance() == 0 {
+	if n < r.minN() || events < r.minEvents() {
+		return math.Inf(1)
+	}
+	if !(a.Variance() > 0) { // zero, negative or NaN variance
 		return math.Inf(1)
 	}
 	df := n - 1
 	if events < df {
 		df = events
 	}
-	tcrit := StudentTQuantile(float64(df), 0.5+r.confidence()/2)
-	return tcrit * a.StdErr()
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	hw := StudentTQuantile(float64(df), 0.5+r.confidence()/2) * a.StdErr()
+	if math.IsNaN(hw) {
+		return math.Inf(1)
+	}
+	return hw
 }
 
 // Met reports whether the rule binds for the accumulated stream:
@@ -123,4 +135,44 @@ func (r StopRule) EffectiveHalfWidth(a *Accumulator, events int64) float64 {
 // a (for availability streams, iterations with nonzero downtime).
 func (r StopRule) Met(a *Accumulator, events int64) bool {
 	return r.EffectiveHalfWidth(a, events) <= r.TargetHalfWidth
+}
+
+// EffectiveHalfWidthWeighted is EffectiveHalfWidth for an
+// importance-sampled stream. The event count of the unweighted rule is
+// replaced by the effective sample size (Σw)²/Σw²: under failure
+// biasing nearly every iteration is informative, but degenerate
+// weights can still concentrate the information in few of them, and
+// ESS is the measure of both. Degrees of freedom are
+// min(n-1, ESS-1); the MinEvents floor applies to ESS. NaN moments
+// (including a NaN ESS or standard error) answer +Inf.
+func (r StopRule) EffectiveHalfWidthWeighted(a *WeightedAccumulator) float64 {
+	if a.N() < r.minN() {
+		return math.Inf(1)
+	}
+	ess := a.ESS()
+	if !(ess >= float64(r.minEvents())) { // also catches NaN
+		return math.Inf(1)
+	}
+	se := a.StdErr()
+	if !(se > 0) {
+		return math.Inf(1)
+	}
+	df := ess - 1
+	if fn := float64(a.N() - 1); fn < df {
+		df = fn
+	}
+	if !(df > 0) {
+		return math.Inf(1)
+	}
+	hw := StudentTQuantile(df, 0.5+r.confidence()/2) * se
+	if math.IsNaN(hw) {
+		return math.Inf(1)
+	}
+	return hw
+}
+
+// MetWeighted reports whether the rule binds for an importance-sampled
+// stream, on ESS-based effective degrees of freedom.
+func (r StopRule) MetWeighted(a *WeightedAccumulator) bool {
+	return r.EffectiveHalfWidthWeighted(a) <= r.TargetHalfWidth
 }

@@ -144,3 +144,103 @@ func TestStopRuleDefaults(t *testing.T) {
 		t.Errorf("default confidence %v, want 0.99", r.confidence())
 	}
 }
+
+// TestStopRuleDegenerateInputs is the corrupt-snapshot regression:
+// negative event counts and NaN or negative moments (as restored from
+// a damaged checkpoint, or produced by a buggy weighted fold) must
+// answer +Inf / not-met, never bind the rule.
+func TestStopRuleDegenerateInputs(t *testing.T) {
+	r := StopRule{TargetHalfWidth: 10, MinN: 2, MinEvents: 1}
+
+	if hw := r.EffectiveHalfWidth(synthAcc(100, 50, 0.5), -3); !math.IsInf(hw, 1) {
+		t.Errorf("negative events: half-width %v, want +Inf", hw)
+	}
+	if r.Met(synthAcc(100, 50, 0.5), -3) {
+		t.Error("rule bound on a negative event count")
+	}
+
+	for name, m2 := range map[string]float64{"NaN m2": math.NaN(), "negative m2": -1} {
+		var a Accumulator
+		a.SetState(AccumulatorState{N: 100, Mean: 0.9, M2: m2, Min: 0.5, Max: 1})
+		if hw := r.EffectiveHalfWidth(&a, 50); !math.IsInf(hw, 1) {
+			t.Errorf("%s: half-width %v, want +Inf", name, hw)
+		}
+		if r.Met(&a, 50) {
+			t.Errorf("%s: rule bound", name)
+		}
+	}
+}
+
+// weightedSynth builds the weighted counterpart of synthAcc with unit
+// weights.
+func weightedSynth(n, events int64, lo float64) *WeightedAccumulator {
+	var a WeightedAccumulator
+	for i := int64(0); i < n; i++ {
+		if i < events {
+			a.Add(lo, 1)
+		} else {
+			a.Add(1, 1)
+		}
+	}
+	return &a
+}
+
+// TestStopRuleWeighted pins the importance-sampled variant: with unit
+// weights it behaves like the unweighted rule fed events = n, the ESS
+// floor replaces the event floor, and degenerate weighted moments
+// never bind.
+func TestStopRuleWeighted(t *testing.T) {
+	r := StopRule{TargetHalfWidth: 10, MinN: 32, MinEvents: 16}
+
+	if !r.MetWeighted(weightedSynth(64, 32, 0.5)) {
+		t.Error("weighted rule did not bind on a healthy stream with a huge target")
+	}
+	if r.MetWeighted(weightedSynth(31, 16, 0.5)) {
+		t.Error("weighted rule bound below MinN")
+	}
+
+	// ESS floor: one dominating weight collapses ESS to ~1 < MinEvents.
+	var dom WeightedAccumulator
+	for i := 0; i < 64; i++ {
+		dom.Add(1, 1e-12)
+	}
+	dom.Add(0.5, 1e6)
+	if hw := r.EffectiveHalfWidthWeighted(&dom); !math.IsInf(hw, 1) {
+		t.Errorf("degenerate-weight stream: half-width %v, want +Inf", hw)
+	}
+
+	// Zero variance never binds.
+	var flat WeightedAccumulator
+	for i := 0; i < 64; i++ {
+		flat.Add(1, 1)
+	}
+	if hw := r.EffectiveHalfWidthWeighted(&flat); !math.IsInf(hw, 1) {
+		t.Errorf("zero-variance stream: half-width %v, want +Inf", hw)
+	}
+
+	// NaN moments from a corrupt snapshot answer +Inf / not-met.
+	for name, st := range map[string]WeightedAccumulatorState{
+		"NaN v2":      {N: 100, W: 100, W2: 100, Mean: 0.9, M2: 1, S1: 0, V2: math.NaN()},
+		"NaN w2":      {N: 100, W: 100, W2: math.NaN(), Mean: 0.9, M2: 1, S1: 0, V2: 1},
+		"negative v2": {N: 100, W: 100, W2: 100, Mean: 0.9, M2: 1, S1: 0, V2: -4},
+		"zero mass":   {N: 100, W: 0, W2: 0, Mean: 0, M2: 0, S1: 0, V2: 0},
+	} {
+		var a WeightedAccumulator
+		a.SetState(st)
+		if hw := r.EffectiveHalfWidthWeighted(&a); !math.IsInf(hw, 1) {
+			t.Errorf("%s: half-width %v, want +Inf", name, hw)
+		}
+		if r.MetWeighted(&a) {
+			t.Errorf("%s: weighted rule bound", name)
+		}
+	}
+
+	// Unit weights reproduce the unweighted rule at events = n.
+	wa := weightedSynth(4096, 512, 0.8)
+	ua := synthAcc(4096, 512, 0.8)
+	got := r.EffectiveHalfWidthWeighted(wa)
+	want := r.EffectiveHalfWidth(ua, 4095)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("unit weights: weighted %g vs unweighted %g", got, want)
+	}
+}
